@@ -1,0 +1,58 @@
+"""DP-Error (Definition 6) — central O(1/ε) vs local O(√n/ε).
+
+Context for Table 2's "Central DP" column and the Section 7 discussion:
+the Binomial/Laplace mechanisms' error is independent of n, randomized
+response pays √n, and ΠBin's MPC mode pays √K over the single curator.
+"""
+
+import pytest
+
+from repro.analysis.error import empirical_error
+from repro.dp.binomial import BinomialMechanism
+from repro.dp.laplace import LaplaceMechanism
+from repro.dp.randomized_response import RandomizedResponse
+from repro.utils.rng import SeededRNG
+
+DELTA = 2**-10
+DATASET = [1 if i % 3 == 0 else 0 for i in range(1000)]
+
+
+def test_binomial_error(benchmark):
+    mech = BinomialMechanism(1.0, DELTA)
+    err = benchmark.pedantic(
+        empirical_error, args=(mech, DATASET, 30, SeededRNG("b")), rounds=3, iterations=1
+    )
+    assert err > 0
+
+
+def test_laplace_error(benchmark):
+    mech = LaplaceMechanism(1.0)
+    err = benchmark.pedantic(
+        empirical_error, args=(mech, DATASET, 30, SeededRNG("l")), rounds=3, iterations=1
+    )
+    assert err == pytest.approx(1.0, rel=1.0)
+
+
+def test_randomized_response_error(benchmark):
+    mech = RandomizedResponse(1.0)
+    err = benchmark.pedantic(
+        empirical_error, args=(mech, DATASET, 10, SeededRNG("r")), rounds=2, iterations=1
+    )
+    assert err > 0
+
+
+def test_error_shape_central_vs_local():
+    """The crossover the paper's Section 7 describes: at n = 1000 the
+    local model's error is already an order of magnitude worse."""
+    rng = SeededRNG("shape")
+    central = empirical_error(BinomialMechanism(1.0, DELTA), DATASET, 40, rng)
+    local = empirical_error(RandomizedResponse(1.0), DATASET, 40, rng)
+    assert local > 3 * central
+
+
+def test_error_shape_epsilon_scaling():
+    """Central error ∝ 1/ε for Laplace (exact) — the O(1/ε) claim."""
+    rng = SeededRNG("eps-scale")
+    e1 = empirical_error(LaplaceMechanism(0.5), DATASET, 800, rng)
+    e2 = empirical_error(LaplaceMechanism(2.0), DATASET, 800, rng)
+    assert e1 / e2 == pytest.approx(4.0, rel=0.5)

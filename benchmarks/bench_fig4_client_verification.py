@@ -1,0 +1,68 @@
+"""Figure 4 — validating one client's M-dimensional one-hot input.
+
+Σ-OR proofs per coordinate (ours; robust against malicious servers) vs
+the PRIO/Poplar linear sketch (lightweight; vulnerable to Figure 1).
+Both costs grow with M; the Σ approach pays the public-key premium the
+paper quantifies ("approximately an order of magnitude" on their stack).
+"""
+
+import pytest
+
+from repro.baselines.sketch import OneHotSketch
+from repro.crypto.fiat_shamir import Transcript
+from repro.crypto.sigma.onehot import prove_one_hot, verify_one_hot
+from repro.utils.rng import SeededRNG
+
+DIMENSIONS = [1, 8, 32]
+
+
+def one_hot(m):
+    return [1] + [0] * (m - 1)
+
+
+@pytest.mark.parametrize("m", DIMENSIONS)
+def test_sigma_onehot_prove(benchmark, params_128, m):
+    rng = SeededRNG(f"f4p{m}")
+    cs, os_ = params_128.pedersen.commit_vector(one_hot(m), rng)
+
+    def run():
+        return prove_one_hot(params_128.pedersen, cs, os_, Transcript("f4"), rng)
+
+    benchmark(run)
+
+
+@pytest.mark.parametrize("m", DIMENSIONS)
+def test_sigma_onehot_verify(benchmark, params_128, m):
+    rng = SeededRNG(f"f4v{m}")
+    cs, os_ = params_128.pedersen.commit_vector(one_hot(m), rng)
+    proof = prove_one_hot(params_128.pedersen, cs, os_, Transcript("f4"), rng)
+    benchmark(lambda: verify_one_hot(params_128.pedersen, cs, proof, Transcript("f4")))
+
+
+@pytest.mark.parametrize("m", DIMENSIONS)
+def test_sketch_validate(benchmark, params_128, m):
+    sketch = OneHotSketch(m, params_128.q)
+    packages = sketch.client_prepare(one_hot(m), SeededRNG(f"f4s{m}"))
+    result = benchmark(sketch.validate, packages, b"bench")
+    assert result
+
+
+def test_sigma_costs_more_than_sketch(params_128):
+    """The paper's headline Figure 4 comparison, asserted."""
+    import time
+
+    m = 8
+    rng = SeededRNG("cmp")
+    cs, os_ = params_128.pedersen.commit_vector(one_hot(m), rng)
+    start = time.perf_counter()
+    proof = prove_one_hot(params_128.pedersen, cs, os_, Transcript("f4"), rng)
+    verify_one_hot(params_128.pedersen, cs, proof, Transcript("f4"))
+    sigma = time.perf_counter() - start
+
+    sketch = OneHotSketch(m, params_128.q)
+    packages = sketch.client_prepare(one_hot(m), rng)
+    start = time.perf_counter()
+    sketch.validate(packages, b"x")
+    lightweight = time.perf_counter() - start
+
+    assert sigma > lightweight

@@ -1,0 +1,114 @@
+"""Table 1 — per-stage latency of ΠBin.
+
+Paper row (n = 10⁶, nb = 262144, Apple M1, Rust):
+
+    Σ-proof 6609 ms | Σ-verification 6708 ms | Morra 4987 ms |
+    Aggregation 198 ms | Check 263 ms
+
+Each benchmark here measures one stage at a fixed batch size on the
+paper's backend (modp-2048); per-item costs extrapolate linearly (the
+stages have no cross-item interaction).  ``python -m repro table1``
+prints measured + extrapolated rows side by side with the paper's.
+"""
+
+import pytest
+
+from repro.bench.stages import (
+    time_aggregation,
+    time_check,
+    time_morra,
+    time_sigma_prove,
+    time_sigma_verify,
+)
+from repro.crypto.fiat_shamir import Transcript
+from repro.crypto.sigma.or_bit import prove_bits, verify_bits
+from repro.mpc.morra import MorraParticipant, run_morra_batch
+from repro.utils.rng import SeededRNG
+
+NB = 16  # coins per benchmark iteration
+N_AGG = 10_000  # aggregation batch
+
+
+@pytest.fixture(scope="module")
+def coin_batch(params_2048):
+    rng = SeededRNG("t1-coins")
+    commitments, openings = [], []
+    for _ in range(NB):
+        c, o = params_2048.pedersen.commit_fresh(rng.coin(), rng)
+        commitments.append(c)
+        openings.append(o)
+    proofs = prove_bits(params_2048.pedersen, commitments, openings, Transcript("b"), rng)
+    return commitments, openings, proofs
+
+
+def test_stage_sigma_proof(benchmark, params_2048, coin_batch):
+    commitments, openings, _ = coin_batch
+
+    def run():
+        return prove_bits(
+            params_2048.pedersen, commitments, openings, Transcript("b"), SeededRNG("p")
+        )
+
+    result = benchmark(run)
+    assert len(result) == NB
+
+
+def test_stage_sigma_verification(benchmark, params_2048, coin_batch):
+    commitments, _, proofs = coin_batch
+    benchmark(
+        lambda: verify_bits(params_2048.pedersen, commitments, proofs, Transcript("b"))
+    )
+
+
+def test_stage_morra(benchmark, params_2048):
+    def run():
+        prover = MorraParticipant("p", SeededRNG("mp"))
+        verifier = MorraParticipant("v", SeededRNG("mv"))
+        return run_morra_batch([prover, verifier], params_2048.q, NB)
+
+    outcome = benchmark(run)
+    assert len(outcome.values) == NB
+
+
+def test_stage_aggregation(benchmark, params_2048):
+    rng = SeededRNG("agg")
+    values = [rng.field_element(params_2048.q) for _ in range(N_AGG)]
+
+    def run():
+        acc = 0
+        for value in values:
+            acc = (acc + value) % params_2048.q
+        return acc
+
+    benchmark(run)
+
+
+def test_stage_check(benchmark, params_2048, coin_batch):
+    commitments, _, _ = coin_batch
+    rng = SeededRNG("chk")
+    bits = [rng.coin() for _ in range(NB)]
+
+    def run():
+        pedersen = params_2048.pedersen
+        product = pedersen.commitment_to_constant(0)
+        for commitment, bit in zip(commitments, bits):
+            adjusted = pedersen.one_minus(commitment) if bit else commitment
+            product = product * adjusted
+        return pedersen.commit(123, 456)
+
+    benchmark(run)
+
+
+def test_table1_stage_ordering(params_2048):
+    """The paper's qualitative shape: Σ-proof ≈ Σ-verify ≫ aggregation,
+    check; Morra cheaper per coin than either Σ stage."""
+    rng = SeededRNG("order")
+    prove, commitments, proofs = time_sigma_prove(params_2048, 12, rng)
+    verify = time_sigma_verify(params_2048, commitments, proofs)
+    morra, bits = time_morra(params_2048, 12, rng)
+    agg = time_aggregation(params_2048, 2_000, rng)
+    check = time_check(params_2048, commitments, bits, rng)
+    assert prove.per_item > morra.per_item
+    assert verify.per_item > morra.per_item
+    assert prove.per_item > agg.per_item
+    assert check.seconds < prove.seconds

@@ -1,0 +1,47 @@
+"""Table 2 — qualitative system properties, validated by execution.
+
+The 'benchmark' here is the cost of the validation probes themselves:
+running the Figure 1 attack against PRIO (succeeds silently) and against
+ΠBin (detected), which is how the table's PRIO and "Our work" rows are
+derived mechanically rather than transcribed.
+"""
+
+from repro.attacks import (
+    exclusion_attack_on_pibin,
+    exclusion_attack_on_prio,
+    noise_biasing_on_pibin,
+)
+from repro.bench.runner import run_table2
+from repro.utils.rng import SeededRNG
+
+
+def test_table2_rows(benchmark):
+    rows = benchmark.pedantic(run_table2, kwargs={"validate": False}, rounds=3, iterations=1)
+    assert len(rows) == 10
+
+
+def test_probe_prio_exclusion(benchmark):
+    outcome = benchmark.pedantic(
+        lambda: exclusion_attack_on_prio(rng=SeededRNG("t2-prio")),
+        rounds=3,
+        iterations=1,
+    )
+    assert outcome.succeeded and not outcome.detected
+
+
+def test_probe_pibin_exclusion(benchmark):
+    outcome = benchmark.pedantic(
+        lambda: exclusion_attack_on_pibin(rng=SeededRNG("t2-ours")),
+        rounds=2,
+        iterations=1,
+    )
+    assert outcome.detected
+
+
+def test_probe_pibin_noise_biasing(benchmark):
+    outcome = benchmark.pedantic(
+        lambda: noise_biasing_on_pibin(rng=SeededRNG("t2-bias")),
+        rounds=2,
+        iterations=1,
+    )
+    assert outcome.detected

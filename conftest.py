@@ -1,0 +1,14 @@
+"""Repo-root pytest hook: make ``src/`` importable without installation.
+
+The canonical setup is ``pip install -e .``; this fallback keeps
+``pytest tests/`` and ``pytest benchmarks/`` working in environments that
+cannot build editable installs (e.g. offline containers missing the
+``wheel`` package — see README's install note).
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = str(Path(__file__).resolve().parent / "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

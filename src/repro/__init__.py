@@ -1,0 +1,79 @@
+"""repro — a full reproduction of *Verifiable Differential Privacy*
+(Biswas & Cormode).
+
+Differential privacy's randomness is an attack surface: a malicious
+aggregator can bias "noise" and claim innocence.  This library implements
+the paper's answer — ΠBin, a protocol whose DP releases come with a
+zero-knowledge argument that the statistic is the true aggregate of
+validated client inputs plus honestly-sampled Binomial noise — together
+with every substrate it stands on and every baseline it is compared to.
+
+Quick start (trusted curator)::
+
+    from repro import setup, VerifiableBinomialProtocol
+
+    params = setup(epsilon=1.0, delta=2**-10, num_provers=1, group="p128-sim")
+    protocol = VerifiableBinomialProtocol(params)
+    result = protocol.run_bits([1, 0, 1, 1, 0, 1])
+    assert result.release.accepted          # proofs checked out
+    print(result.release.scalar_estimate)   # DP count (noise mean removed)
+
+See ``examples/`` for the MPC election and telemetry scenarios, DESIGN.md
+for the architecture and experiment index, and EXPERIMENTS.md for
+measured-vs-paper results.
+"""
+
+from repro.core import (
+    Client,
+    PublicParams,
+    PublicVerifier,
+    Prover,
+    Release,
+    VerifiableBinomialProtocol,
+    VerifiableHistogram,
+    encode_choice,
+    setup,
+)
+from repro.dp import (
+    BinomialMechanism,
+    GaussianMechanism,
+    LaplaceMechanism,
+    RandomizedResponse,
+    coins_for_privacy,
+    epsilon_for_coins,
+)
+from repro.errors import (
+    ClientInputRejected,
+    ProofRejected,
+    ProtocolAbort,
+    ProverCheatingDetected,
+    ReproError,
+    VerificationError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "setup",
+    "PublicParams",
+    "VerifiableBinomialProtocol",
+    "VerifiableHistogram",
+    "Client",
+    "Prover",
+    "PublicVerifier",
+    "Release",
+    "encode_choice",
+    "BinomialMechanism",
+    "LaplaceMechanism",
+    "GaussianMechanism",
+    "RandomizedResponse",
+    "coins_for_privacy",
+    "epsilon_for_coins",
+    "ReproError",
+    "VerificationError",
+    "ProofRejected",
+    "ProtocolAbort",
+    "ProverCheatingDetected",
+    "ClientInputRejected",
+    "__version__",
+]

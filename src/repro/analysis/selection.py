@@ -1,0 +1,83 @@
+"""Private selection: who wins the election, and at what privacy cost?
+
+The paper's motivating query is a plurality election; its protocol
+releases the *whole* noisy histogram and the analyst takes the argmax.
+The classical central-model alternatives release *only the winner* —
+the exponential mechanism and report-noisy-max (Section 7) — with better
+selection accuracy per ε, but no known verifiable instantiation (the
+concluding remarks: the selection distribution itself leaks).
+
+This module measures that trade-off: the probability each approach names
+the true winner, as a function of ε and the vote margin.  The experiment
+(`benchmarks/bench_selection.py`) reproduces the qualitative ordering
+
+    exponential ≈ noisy-max  >  verifiable histogram argmax
+
+quantifying the "price of verifiability" for selection tasks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.dp.binomial import BinomialMechanism
+from repro.dp.exponential import ExponentialMechanism, report_noisy_max
+from repro.errors import ParameterError
+from repro.utils.rng import RNG, default_rng
+
+__all__ = ["SelectionAccuracy", "selection_accuracy"]
+
+
+@dataclass(frozen=True)
+class SelectionAccuracy:
+    """Fraction of trials each mechanism picked the true argmax."""
+
+    histogram_argmax: float
+    exponential: float
+    noisy_max: float
+    epsilon: float
+    margin: int
+
+
+def selection_accuracy(
+    counts: Sequence[int],
+    epsilon: float,
+    delta: float,
+    trials: int,
+    rng: RNG | None = None,
+) -> SelectionAccuracy:
+    """Monte-Carlo winner-recovery rates on a fixed histogram.
+
+    ``histogram_argmax`` models ΠBin's release (independent Binomial noise
+    per bin, argmax downstream); the other two are the unverifiable
+    selection mechanisms at the same ε.
+    """
+    if trials < 1:
+        raise ParameterError("need at least one trial")
+    if len(counts) < 2:
+        raise ParameterError("selection needs at least two candidates")
+    rng = default_rng(rng)
+    true_winner = max(range(len(counts)), key=counts.__getitem__)
+    sorted_counts = sorted(counts, reverse=True)
+    margin = sorted_counts[0] - sorted_counts[1]
+
+    binomial = BinomialMechanism(epsilon, delta)
+    exponential = ExponentialMechanism(epsilon)
+
+    hist_hits = 0
+    exp_hits = 0
+    max_hits = 0
+    for _ in range(trials):
+        noisy = [binomial.release(float(c), rng).value for c in counts]
+        hist_hits += max(range(len(counts)), key=noisy.__getitem__) == true_winner
+        exp_hits += exponential.select(counts, rng) == true_winner
+        max_hits += report_noisy_max(counts, epsilon, rng) == true_winner
+
+    return SelectionAccuracy(
+        histogram_argmax=hist_hits / trials,
+        exponential=exp_hits / trials,
+        noisy_max=max_hits / trials,
+        epsilon=epsilon,
+        margin=margin,
+    )

@@ -1,0 +1,27 @@
+"""Attack scenarios from the paper.
+
+Each scenario is run twice: against the baseline system (where it
+succeeds silently) and against ΠBin (where it is detected/prevented and
+publicly attributed).  The test-suite asserts both halves; the CLI
+(`python -m repro attacks`) prints the side-by-side outcome.
+"""
+
+from repro.attacks.scenarios import (
+    AttackOutcome,
+    exclusion_attack_on_prio,
+    exclusion_attack_on_pibin,
+    collusion_attack_on_prio,
+    collusion_attack_on_pibin,
+    noise_biasing_on_curator,
+    noise_biasing_on_pibin,
+)
+
+__all__ = [
+    "AttackOutcome",
+    "exclusion_attack_on_prio",
+    "exclusion_attack_on_pibin",
+    "collusion_attack_on_prio",
+    "collusion_attack_on_pibin",
+    "noise_biasing_on_curator",
+    "noise_biasing_on_pibin",
+]

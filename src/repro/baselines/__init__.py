@@ -1,0 +1,39 @@
+"""Baseline systems the paper compares against.
+
+* :mod:`repro.baselines.trusted_curator` — classical non-verifiable DP
+  release (Section 6's "the non-verifiable protocol simply involves
+  summing over n inputs [and] sampling one draw of Binomial noise").
+* :mod:`repro.baselines.sketch` — the BGI16-style linear sketch used by
+  PRIO/Poplar for client validation *without public-key crypto*; fast but
+  vulnerable to the Figure 1 attacks.
+* :mod:`repro.baselines.prio` — a PRIO-style 2-server aggregate system:
+  secret-shared one-hot inputs, sketch validation, per-server DP noise.
+* :mod:`repro.baselines.dpf` / :mod:`repro.baselines.poplar` — a
+  PRG-based distributed point function and the Poplar-style prefix-tree
+  heavy-hitters workflow built on it.
+"""
+
+from repro.baselines.trusted_curator import NonVerifiableCurator, MaliciousCurator
+from repro.baselines.sketch import OneHotSketch, SketchClientPackage
+from repro.baselines.prio import PrioSystem, PrioServer, CorruptPrioServer
+from repro.baselines.dpf import DpfKey, dpf_gen, dpf_eval, dpf_eval_full
+from repro.baselines.poplar import PoplarSystem, HeavyHitter
+from repro.baselines.shuffle import ShuffleAggregator, amplified_epsilon
+
+__all__ = [
+    "NonVerifiableCurator",
+    "MaliciousCurator",
+    "OneHotSketch",
+    "SketchClientPackage",
+    "PrioSystem",
+    "PrioServer",
+    "CorruptPrioServer",
+    "DpfKey",
+    "dpf_gen",
+    "dpf_eval",
+    "dpf_eval_full",
+    "PoplarSystem",
+    "HeavyHitter",
+    "ShuffleAggregator",
+    "amplified_epsilon",
+]

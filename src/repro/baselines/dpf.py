@@ -1,0 +1,157 @@
+"""Distributed point functions (DPF), Boyle–Gilboa–Ishai style.
+
+A DPF splits the point function f_{α,β}(x) = β·[x = α] into two keys such
+that each key alone reveals nothing about (α, β), yet the two parties'
+local evaluations add up to f over Z_q.  Poplar builds private
+heavy-hitters from (incremental) DPFs; :mod:`repro.baselines.poplar` uses
+this module with one DPF per prefix level (the simple variant the Poplar
+paper optimizes, sufficient for the workflow and the attack study).
+
+Construction: the classic GGM tree with per-level correction words
+(Boyle, Gilboa, Ishai 2016).  The PRG is SHA-256 in expand mode — a
+random-oracle stand-in for AES-NI, matching this reproduction's
+pure-Python substitution policy (see DESIGN.md).
+
+Key sizes are O(λ·n) for domain {0,1}^n; a single-point evaluation is n
+PRG calls and :func:`dpf_eval_full` shares internal expansions across the
+whole domain via a breadth-first walk.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.errors import ParameterError
+from repro.utils.rng import RNG, default_rng
+
+__all__ = ["DpfKey", "dpf_gen", "dpf_eval", "dpf_eval_full"]
+
+_LAMBDA_BYTES = 16
+
+
+def _prg(seed: bytes) -> tuple[bytes, int, bytes, int]:
+    """Expand a seed to (s_left, t_left, s_right, t_right)."""
+    digest = hashlib.sha256(b"repro.dpf.prg|" + seed).digest()
+    s_left = digest[:_LAMBDA_BYTES]
+    s_right = digest[_LAMBDA_BYTES : 2 * _LAMBDA_BYTES]
+    extra = hashlib.sha256(b"repro.dpf.prg.t|" + seed).digest()[0]
+    t_left = extra & 1
+    t_right = (extra >> 1) & 1
+    return s_left, t_left, s_right, t_right
+
+
+def _convert(seed: bytes, q: int) -> int:
+    """Map a final seed to a pseudorandom element of Z_q."""
+    digest = hashlib.sha512(b"repro.dpf.convert|" + seed).digest()
+    return int.from_bytes(digest, "big") % q
+
+
+def _xor(a: bytes, b: bytes) -> bytes:
+    return bytes(x ^ y for x, y in zip(a, b))
+
+
+@dataclass(frozen=True)
+class DpfKey:
+    """One party's DPF key: root seed plus per-level correction words."""
+
+    party: int  # 0 or 1
+    domain_bits: int
+    q: int
+    root_seed: bytes
+    correction_words: tuple[tuple[bytes, int, int], ...]  # (s_cw, t_cw_left, t_cw_right)
+    output_correction: int
+
+
+def dpf_gen(
+    alpha: int, beta: int, domain_bits: int, q: int, rng: RNG | None = None
+) -> tuple[DpfKey, DpfKey]:
+    """Generate a key pair for f_{α,β} over domain {0,1}^domain_bits."""
+    if domain_bits < 1 or domain_bits > 40:
+        raise ParameterError("domain_bits must be in [1, 40]")
+    if not 0 <= alpha < (1 << domain_bits):
+        raise ParameterError("alpha outside the domain")
+    rng = default_rng(rng)
+
+    root0 = rng.random_bytes(_LAMBDA_BYTES)
+    root1 = rng.random_bytes(_LAMBDA_BYTES)
+    seed0, seed1 = root0, root1
+    t0, t1 = 0, 1
+    corrections: list[tuple[bytes, int, int]] = []
+
+    for level in range(domain_bits):
+        bit = (alpha >> (domain_bits - 1 - level)) & 1
+        s0l, t0l, s0r, t0r = _prg(seed0)
+        s1l, t1l, s1r, t1r = _prg(seed1)
+        if bit == 0:  # path keeps left; the right ("lose") side must cancel
+            s_cw = _xor(s0r, s1r)
+            keep0, keep1 = (s0l, t0l), (s1l, t1l)
+        else:
+            s_cw = _xor(s0l, s1l)
+            keep0, keep1 = (s0r, t0r), (s1r, t1r)
+        t_cw_left = t0l ^ t1l ^ bit ^ 1
+        t_cw_right = t0r ^ t1r ^ bit
+        corrections.append((s_cw, t_cw_left, t_cw_right))
+        t_cw_keep = t_cw_right if bit else t_cw_left
+        seed0 = _xor(keep0[0], s_cw) if t0 else keep0[0]
+        seed1 = _xor(keep1[0], s_cw) if t1 else keep1[0]
+        t0 = keep0[1] ^ (t0 & t_cw_keep)
+        t1 = keep1[1] ^ (t1 & t_cw_keep)
+
+    value0 = _convert(seed0, q)
+    value1 = _convert(seed1, q)
+    sign = -1 if t1 else 1
+    output_correction = (sign * (beta - value0 + value1)) % q
+
+    cw = tuple(corrections)
+    return (
+        DpfKey(0, domain_bits, q, root0, cw, output_correction),
+        DpfKey(1, domain_bits, q, root1, cw, output_correction),
+    )
+
+
+def _walk(key: DpfKey, x: int) -> tuple[bytes, int]:
+    """Follow the path for input x; returns (leaf seed, control bit)."""
+    seed = key.root_seed
+    t = key.party
+    for level in range(key.domain_bits):
+        bit = (x >> (key.domain_bits - 1 - level)) & 1
+        s_cw, t_cw_left, t_cw_right = key.correction_words[level]
+        sl, tl, sr, tr = _prg(seed)
+        if t:
+            sl, tl = _xor(sl, s_cw), tl ^ t_cw_left
+            sr, tr = _xor(sr, s_cw), tr ^ t_cw_right
+        seed, t = (sr, tr) if bit else (sl, tl)
+    return seed, t
+
+
+def dpf_eval(key: DpfKey, x: int) -> int:
+    """This party's additive share of f_{α,β}(x)."""
+    if not 0 <= x < (1 << key.domain_bits):
+        raise ParameterError("x outside the domain")
+    seed, t = _walk(key, x)
+    share = (_convert(seed, key.q) + t * key.output_correction) % key.q
+    return share if key.party == 0 else (-share) % key.q
+
+
+def dpf_eval_full(key: DpfKey) -> list[int]:
+    """Shares of f over the entire domain, sharing internal PRG calls."""
+    if key.domain_bits > 22:
+        raise ParameterError("full-domain evaluation capped at 2^22 leaves")
+    frontier: list[tuple[bytes, int]] = [(key.root_seed, key.party)]
+    for level in range(key.domain_bits):
+        s_cw, t_cw_left, t_cw_right = key.correction_words[level]
+        next_frontier: list[tuple[bytes, int]] = []
+        for seed, t in frontier:
+            sl, tl, sr, tr = _prg(seed)
+            if t:
+                sl, tl = _xor(sl, s_cw), tl ^ t_cw_left
+                sr, tr = _xor(sr, s_cw), tr ^ t_cw_right
+            next_frontier.append((sl, tl))
+            next_frontier.append((sr, tr))
+        frontier = next_frontier
+    sign = 1 if key.party == 0 else -1
+    return [
+        (sign * (_convert(seed, key.q) + t * key.output_correction)) % key.q
+        for seed, t in frontier
+    ]

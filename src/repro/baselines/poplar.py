@@ -1,0 +1,122 @@
+"""A Poplar-style private heavy-hitters system (Boneh et al.).
+
+Clients hold a b-bit string; two servers find all strings held by at
+least τ clients without learning anything else about individual inputs.
+Poplar's core trick: clients encode their string as distributed point
+functions, servers sweep a prefix tree level by level, evaluating the
+DPFs on candidate prefixes and pruning prefixes whose (optionally
+DP-noised) count falls below the threshold.
+
+Substitution note (DESIGN.md): real Poplar uses *incremental* DPFs (one
+key pair serving all levels).  Here each client supplies one ordinary DPF
+per level — the naive variant that Poplar's IDPF optimizes — which keeps
+the prefix-tree workflow, the DP accounting, and the Figure 1 attack
+surface (malleable evaluation shares) intact at higher communication
+cost.
+
+The per-level attack surface is exactly Figure 1(a): a corrupted server
+can shift its evaluation share for a victim client so the victim's prefix
+counts are wrong, silently erasing the victim from the result — no
+verification exists on the published partial sums.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.baselines.dpf import DpfKey, dpf_eval, dpf_gen
+from repro.dp.binomial import coins_for_privacy, sample_binomial
+from repro.errors import ParameterError
+from repro.utils.rng import RNG, SystemRNG, default_rng
+
+__all__ = ["PoplarClientKeys", "HeavyHitter", "PoplarSystem"]
+
+
+@dataclass(frozen=True)
+class PoplarClientKeys:
+    """One client's DPF keys, one pair per prefix level."""
+
+    client_id: str
+    keys: tuple[tuple[DpfKey, DpfKey], ...]  # [level][party]
+
+
+@dataclass(frozen=True)
+class HeavyHitter:
+    """A discovered heavy string and its (noisy) count."""
+
+    value: int
+    count: float
+
+
+@dataclass
+class PoplarSystem:
+    """Two-server heavy-hitters over b-bit client strings."""
+
+    string_bits: int
+    q: int
+    threshold: float
+    epsilon: float | None = None
+    delta: float | None = None
+    rng: RNG = field(default_factory=SystemRNG)
+    # Corruption hook: (client_id, level) pairs whose party-1 shares are
+    # shifted by -1 — the undetectable Figure 1(a) deviation.  Applied at
+    # the first level it deflates the victim's prefix below threshold,
+    # pruning the victim's whole subtree out of the search.
+    corrupt_shift: set[tuple[str, int]] = field(default_factory=set)
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.string_bits <= 20:
+            raise ParameterError("string_bits must be in [1, 20]")
+        if (self.epsilon is None) != (self.delta is None):
+            raise ParameterError("give both epsilon and delta, or neither")
+        self._nb = (
+            coins_for_privacy(self.epsilon, self.delta) if self.epsilon is not None else 0
+        )
+
+    # Client side -------------------------------------------------------------
+
+    def encode_client(self, client_id: str, value: int, rng: RNG | None = None) -> PoplarClientKeys:
+        """One DPF per level: level ℓ encodes the (ℓ+1)-bit prefix of value."""
+        if not 0 <= value < (1 << self.string_bits):
+            raise ParameterError("value outside the string domain")
+        rng = default_rng(rng) if rng is not None else self.rng
+        keys = []
+        for level in range(1, self.string_bits + 1):
+            prefix = value >> (self.string_bits - level)
+            keys.append(dpf_gen(prefix, 1, level, self.q, rng))
+        return PoplarClientKeys(client_id, tuple(keys))
+
+    # Server sweep --------------------------------------------------------------
+
+    def _prefix_count(
+        self, clients: list[PoplarClientKeys], level: int, prefix: int
+    ) -> float:
+        """Reconstructed (and optionally noised) count of a prefix."""
+        total = 0
+        for client in clients:
+            key0, key1 = client.keys[level - 1]
+            share0 = dpf_eval(key0, prefix)
+            share1 = dpf_eval(key1, prefix)
+            if (client.client_id, level) in self.corrupt_shift:
+                share1 = (share1 - 1) % self.q  # silent, unauthenticated shift
+            total = (total + share0 + share1) % self.q
+        if self._nb:
+            noise0 = sample_binomial(self._nb, self.rng)
+            noise1 = sample_binomial(self._nb, self.rng)
+            return float((total + noise0 + noise1) % self.q) - self._nb
+        return float(total)
+
+    def heavy_hitters(self, clients: list[PoplarClientKeys]) -> list[HeavyHitter]:
+        """Level-by-level prefix sweep with threshold pruning."""
+        candidates = [0, 1]
+        for level in range(1, self.string_bits):
+            surviving = [
+                p for p in candidates if self._prefix_count(clients, level, p) >= self.threshold
+            ]
+            candidates = [c for p in surviving for c in (p << 1, (p << 1) | 1)]
+        hitters = []
+        for candidate in candidates:
+            count = self._prefix_count(clients, self.string_bits, candidate)
+            if count >= self.threshold:
+                hitters.append(HeavyHitter(candidate, count))
+        return sorted(hitters, key=lambda h: (-h.count, h.value))

@@ -1,0 +1,205 @@
+"""A PRIO-style 2-server private aggregation system (Corrigan-Gibbs &
+Boneh), the deployment model ΠBin upgrades.
+
+Clients one-hot encode a categorical value, additively share it between
+two servers, and attach the :mod:`repro.baselines.sketch` correlation.
+Servers validate each client with the sketch, aggregate the shares of
+accepted clients, add their own DP noise (each server adds an independent
+Binomial — same accounting as ΠBin), and publish partial sums; the
+analyst adds them.
+
+Faithful properties (Table 2 row "PRIO"):
+
+* privacy against one semi-honest server — shares reveal nothing,
+* robustness against malformed clients *when both servers are honest*,
+* central-model DP error.
+
+Faithfully *missing* properties (what the paper attacks in Figure 1):
+
+* no public auditability — the analyst sees only the final sums,
+* a corrupted server can silently drop honest clients
+  (:class:`CorruptPrioServer` with ``drop_clients``),
+* a corrupted server colluding with a client can admit an illegal input
+  (``collude_with``), and
+* a corrupted server can bias its DP noise (``noise_bias``) — the
+  "randomness as attack vector" problem.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from repro.baselines.sketch import OneHotSketch, ServerSketchShare, SketchClientPackage
+from repro.dp.binomial import coins_for_privacy, sample_binomial
+from repro.errors import ParameterError
+from repro.utils.rng import RNG, SystemRNG, default_rng
+
+__all__ = ["PrioClientSubmission", "PrioServer", "CorruptPrioServer", "PrioSystem", "PrioResult"]
+
+
+@dataclass(frozen=True)
+class PrioClientSubmission:
+    """A client's two packages (one per server)."""
+
+    client_id: str
+    packages: tuple[SketchClientPackage, SketchClientPackage]
+
+
+@dataclass
+class PrioServer:
+    """An honest PRIO server."""
+
+    name: str
+    index: int  # 0 or 1
+    sketch: OneHotSketch
+    nb: int
+    rng: RNG = field(default_factory=SystemRNG)
+    accepted: list[str] = field(default_factory=list)
+    _shares: dict[str, SketchClientPackage] = field(default_factory=dict)
+
+    def receive(self, submission: PrioClientSubmission) -> None:
+        self._shares[submission.client_id] = submission.packages[self.index]
+
+    # Validation --------------------------------------------------------------
+
+    def first_message(self, client_id: str, r: list[int]) -> int:
+        return self.sketch.server_first_message(self.index, self._shares[client_id], r)
+
+    def second_message(self, client_id: str, r: list[int], w_public: int) -> ServerSketchShare:
+        return self.sketch.server_second_message(
+            self.index, self._shares[client_id], r, w_public
+        )
+
+    def record_verdict(self, client_id: str, accepted: bool) -> None:
+        if accepted:
+            self.accepted.append(client_id)
+
+    # Aggregation -------------------------------------------------------------
+
+    def partial_aggregate(self) -> list[int]:
+        """Share-sum over accepted clients plus this server's own DP noise."""
+        q = self.sketch.q
+        dims = self.sketch.dimension
+        totals = [0] * dims
+        for client_id in self.accepted:
+            package = self._shares[client_id]
+            for m in range(dims):
+                totals[m] = (totals[m] + package.x_share[m]) % q
+        for m in range(dims):
+            totals[m] = (totals[m] + sample_binomial(self.nb, self.rng)) % q
+        return totals
+
+
+@dataclass
+class CorruptPrioServer(PrioServer):
+    """An actively corrupted PRIO server (Figure 1 behaviours).
+
+    * ``drop_clients`` — flips its sketch message so those (honest)
+      clients fail validation: Figure 1(a).
+    * ``collude_with`` — for those clients (who shared their mask A and
+      their peer-share with this server out of band), it *computes the
+      other server's expected messages* and publishes exactly the
+      complement, forcing acceptance of an illegal input: Figure 1(b).
+    * ``noise_bias`` — shifts its partial aggregate, hiding the shift in
+      DP noise.
+
+    None of these deviations is detectable by the honest server or the
+    analyst: the published values remain plausible field elements.
+    """
+
+    drop_clients: frozenset[str] = frozenset()
+    collude_with: dict[str, tuple[SketchClientPackage, int]] = field(default_factory=dict)
+    noise_bias: int = 0
+
+    def second_message(self, client_id: str, r, w_public) -> ServerSketchShare:
+        honest = super().second_message(client_id, r, w_public)
+        q = self.sketch.q
+        if client_id in self.drop_clients:
+            # Any perturbation of s makes Σs != 0: the client is rejected.
+            return ServerSketchShare(w=honest.w, s=(honest.s + 1) % q, sigma=honest.sigma)
+        if client_id in self.collude_with:
+            # Knowing the peer package (leaked by the dishonest client),
+            # emit the exact complement of the peer's honest messages.
+            peer_package, peer_index = self.collude_with[client_id]
+            peer = self.sketch.server_second_message(peer_index, peer_package, r, w_public)
+            return ServerSketchShare(
+                w=honest.w, s=(-peer.s) % q, sigma=(1 - peer.sigma) % q
+            )
+        return honest
+
+    def partial_aggregate(self) -> list[int]:
+        totals = super().partial_aggregate()
+        q = self.sketch.q
+        return [(t + self.noise_bias) % q for t in totals]
+
+
+@dataclass(frozen=True)
+class PrioResult:
+    """The analyst's view after a PRIO run."""
+
+    estimates: tuple[float, ...]
+    accepted_clients: tuple[str, ...]
+    raw: tuple[int, ...]
+
+
+class PrioSystem:
+    """Orchestrates clients, two servers and the analyst."""
+
+    def __init__(
+        self,
+        dimension: int,
+        q: int,
+        epsilon: float,
+        delta: float,
+        *,
+        servers: tuple[PrioServer, PrioServer] | None = None,
+        rng: RNG | None = None,
+    ) -> None:
+        self.sketch = OneHotSketch(dimension, q)
+        self.q = q
+        self.nb = coins_for_privacy(epsilon, delta)
+        self.rng = default_rng(rng)
+        if servers is None:
+            servers = (
+                PrioServer("server-0", 0, self.sketch, self.nb),
+                PrioServer("server-1", 1, self.sketch, self.nb),
+            )
+        if servers[0].index != 0 or servers[1].index != 1:
+            raise ParameterError("server indices must be (0, 1)")
+        self.servers = servers
+
+    def submit(self, client_id: str, vector: list[int], rng: RNG | None = None) -> PrioClientSubmission:
+        packages = self.sketch.client_prepare(vector, default_rng(rng) if rng else self.rng)
+        return PrioClientSubmission(client_id, packages)
+
+    def run(self, submissions: list[PrioClientSubmission]) -> PrioResult:
+        """Validate every client, aggregate accepted ones, release."""
+        for submission in submissions:
+            for server in self.servers:
+                server.receive(submission)
+
+        for submission in submissions:
+            seed = hashlib.sha256(b"prio-seed|" + submission.client_id.encode()).digest()
+            r = self.sketch.public_vector(seed)
+            w0 = self.servers[0].first_message(submission.client_id, r)
+            w1 = self.servers[1].first_message(submission.client_id, r)
+            w = (w0 + w1) % self.q
+            s0 = self.servers[0].second_message(submission.client_id, r, w)
+            s1 = self.servers[1].second_message(submission.client_id, r, w)
+            verdict = self.sketch.accept((s0, s1))
+            for server in self.servers:
+                server.record_verdict(submission.client_id, verdict)
+
+        partials = [server.partial_aggregate() for server in self.servers]
+        dims = self.sketch.dimension
+        raw = tuple(
+            (partials[0][m] + partials[1][m]) % self.q for m in range(dims)
+        )
+        noise_mean = 2 * self.nb / 2.0  # two independent Binomial(nb, 1/2)
+        estimates = tuple(value - noise_mean for value in raw)
+        return PrioResult(
+            estimates=estimates,
+            accepted_clients=tuple(self.servers[0].accepted),
+            raw=raw,
+        )

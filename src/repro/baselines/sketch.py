@@ -1,0 +1,164 @@
+"""BGI16-style linear sketch for validating secret-shared one-hot vectors.
+
+This is the lightweight, *no-public-key-crypto* client validation used by
+PRIO and Poplar ("efficient sketching techniques from [BGI16] to validate
+a client's input in zero knowledge", Section 4.2) — the comparison system
+of Figure 4 and the victim of the Figure 1 attacks.
+
+Protocol (2 servers, inputs additively shared over Z_q):
+
+1. Servers agree on public random r = (r_1..r_M)  (derived from a seed).
+2. Each server k locally computes
+       z_k  = ⟨[x]_k, r⟩,   z*_k = ⟨[x]_k, r∘r⟩,   σ_k = ⟨[x]_k, 1⟩.
+3. The test needs z² (a cross-server product), so the *client* supplies a
+   Beaver-style correlation: shares of a random mask A and of B = A².
+   Servers publish w_k = z_k - A_k; with w = Σ w_k public,
+       [z²]_k = k·w² + 2w·A_k + B_k          (k ∈ {0, 1})
+   and they publish  s_k = [z²]_k - z*_k  and σ_k.
+4. Accept iff  Σ_k s_k == 0  and  Σ_k σ_k == 1.
+
+Correctness: for one-hot x with hot coordinate i, z = r_i, z* = r_i², so
+z² - z* = 0; Σx = 1.  For any x not one-hot, z² - z* is a non-zero
+polynomial in r and vanishes with probability <= 2/q (Schwartz–Zippel).
+
+Security gap (the whole point): the published s_k are *unauthenticated*.
+A corrupted server can flip its s_k to fail an honest client (Figure 1a),
+and a client who reveals its mask A and one share to a colluding server
+lets that server choose s_1 = -s_0, σ_1 = 1 - σ_0, admitting an illegal
+input (Figure 1b, footnote 6).  Neither deviation is attributable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.errors import ParameterError
+from repro.sharing.additive import share_additive
+from repro.utils.rng import RNG, default_rng
+
+__all__ = ["SketchClientPackage", "ServerSketchShare", "OneHotSketch"]
+
+
+@dataclass(frozen=True)
+class SketchClientPackage:
+    """Everything a client sends one server: input share + correlation share."""
+
+    x_share: tuple[int, ...]
+    mask_share: int  # [A]_k
+    mask_square_share: int  # [B]_k with B = A^2
+
+
+@dataclass(frozen=True)
+class ServerSketchShare:
+    """One server's published sketch values for one client."""
+
+    w: int  # z_k - A_k
+    s: int  # [z^2]_k - z*_k   (needs w first; see evaluate())
+    sigma: int  # ⟨[x]_k, 1⟩
+
+
+class OneHotSketch:
+    """The 2-server one-hot validity sketch."""
+
+    def __init__(self, dimension: int, q: int) -> None:
+        if dimension < 1:
+            raise ParameterError("dimension must be >= 1")
+        self.dimension = dimension
+        self.q = q
+
+    # Client side -----------------------------------------------------------
+
+    def client_prepare(
+        self, vector: list[int], rng: RNG | None = None
+    ) -> tuple[SketchClientPackage, SketchClientPackage]:
+        """Share the vector and the Beaver correlation for two servers.
+
+        Note: no validity check here — a *dishonest* client may pass any
+        vector; whether it gets caught is up to the sketch (it does,
+        unless a server colludes).
+        """
+        if len(vector) != self.dimension:
+            raise ParameterError("vector dimension mismatch")
+        rng = default_rng(rng)
+        q = self.q
+        x0: list[int] = []
+        x1: list[int] = []
+        for value in vector:
+            a, b = share_additive(value, 2, q, rng)
+            x0.append(a)
+            x1.append(b)
+        mask = rng.field_element(q)
+        a0, a1 = share_additive(mask, 2, q, rng)
+        b0, b1 = share_additive(mask * mask % q, 2, q, rng)
+        return (
+            SketchClientPackage(tuple(x0), a0, b0),
+            SketchClientPackage(tuple(x1), a1, b1),
+        )
+
+    # Public randomness -------------------------------------------------------
+
+    def public_vector(self, seed: bytes) -> list[int]:
+        """Derive the public random r from a joint seed (counter-mode hash)."""
+        out: list[int] = []
+        counter = 0
+        width = (self.q.bit_length() + 7) // 8 + 16
+        while len(out) < self.dimension:
+            digest = hashlib.sha512(
+                b"repro.sketch.r|" + seed + counter.to_bytes(4, "big")
+            ).digest()
+            out.append(int.from_bytes(digest[:width], "big") % self.q)
+            counter += 1
+        return out
+
+    # Server side -------------------------------------------------------------
+
+    def server_first_message(
+        self, server_index: int, package: SketchClientPackage, r: list[int]
+    ) -> int:
+        """w_k = z_k - A_k (published first, to open the mask difference)."""
+        q = self.q
+        z = sum(x * ri for x, ri in zip(package.x_share, r)) % q
+        return (z - package.mask_share) % q
+
+    def server_second_message(
+        self,
+        server_index: int,
+        package: SketchClientPackage,
+        r: list[int],
+        w_public: int,
+    ) -> ServerSketchShare:
+        """Publish s_k and sigma_k once w = Σ w_k is public."""
+        q = self.q
+        z_star = sum(x * ri * ri for x, ri in zip(package.x_share, r)) % q
+        z_sq_share = (
+            (w_public * w_public if server_index == 0 else 0)
+            + 2 * w_public * package.mask_share
+            + package.mask_square_share
+        ) % q
+        sigma = sum(package.x_share) % q
+        w_k = self.server_first_message(server_index, package, r)
+        return ServerSketchShare(w=w_k, s=(z_sq_share - z_star) % q, sigma=sigma)
+
+    # Decision ----------------------------------------------------------------
+
+    def accept(self, shares: tuple[ServerSketchShare, ServerSketchShare]) -> bool:
+        """The public decision rule: Σ s == 0 and Σ σ == 1."""
+        q = self.q
+        return (shares[0].s + shares[1].s) % q == 0 and (
+            shares[0].sigma + shares[1].sigma
+        ) % q == 1
+
+    def validate(
+        self,
+        packages: tuple[SketchClientPackage, SketchClientPackage],
+        seed: bytes,
+    ) -> bool:
+        """Run the full honest two-server validation for one client."""
+        r = self.public_vector(seed)
+        w0 = self.server_first_message(0, packages[0], r)
+        w1 = self.server_first_message(1, packages[1], r)
+        w = (w0 + w1) % self.q
+        s0 = self.server_second_message(0, packages[0], r, w)
+        s1 = self.server_second_message(1, packages[1], r, w)
+        return self.accept((s0, s1))

@@ -1,0 +1,68 @@
+"""The classical (non-verifiable) trusted curator.
+
+"In the trusted curator model, the non-veriﬁable protocol simply involves
+summing over n inputs, sampling one draw of Binomial noise and
+aggregating the results" (Section 6).  :class:`NonVerifiableCurator` does
+exactly that — it is the latency baseline for Table 1 (essentially the
+Aggregation column alone) and the utility baseline for the error sweeps.
+
+:class:`MaliciousCurator` is the paper's motivating adversary: it shifts
+the tally and "blames any discrepancies in the result on random noise
+introduced by DP".  Nothing in the non-verifiable protocol detects this —
+the attack experiments quantify how statistically invisible the shift is
+(a bias of the noise standard deviation is within ordinary noise range).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.dp.mechanism import Mechanism, MechanismOutput, counting_query
+from repro.dp.binomial import BinomialMechanism
+from repro.utils.rng import RNG, default_rng
+
+__all__ = ["NonVerifiableCurator", "MaliciousCurator"]
+
+
+@dataclass
+class NonVerifiableCurator:
+    """An honest curator releasing a DP count with no proof."""
+
+    mechanism: Mechanism
+
+    @classmethod
+    def binomial(cls, epsilon: float, delta: float) -> "NonVerifiableCurator":
+        return cls(BinomialMechanism(epsilon, delta))
+
+    def release_count(self, dataset: Sequence[int], rng: RNG | None = None) -> MechanismOutput:
+        return self.mechanism.release(float(counting_query(dataset)), default_rng(rng))
+
+    def release_histogram(
+        self, choices: Sequence[int], bins: int, rng: RNG | None = None
+    ) -> list[MechanismOutput]:
+        rng = default_rng(rng)
+        counts = [0] * bins
+        for choice in choices:
+            counts[choice] += 1
+        return [self.mechanism.release(float(c), rng) for c in counts]
+
+
+@dataclass
+class MaliciousCurator(NonVerifiableCurator):
+    """Shifts every release by ``bias`` and calls it noise.
+
+    The released value is (true + honest_noise + bias); the reported
+    ``noise`` field lies by construction — exactly the "perfect alibi"
+    of the paper's abstract.
+    """
+
+    bias: float = 0.0
+
+    def release_count(self, dataset: Sequence[int], rng: RNG | None = None) -> MechanismOutput:
+        honest = super().release_count(dataset, rng)
+        return MechanismOutput(honest.value + self.bias, honest.noise)
+
+    def release_histogram(self, choices, bins, rng: RNG | None = None):
+        outputs = super().release_histogram(choices, bins, rng)
+        return [MechanismOutput(o.value + self.bias, o.noise) for o in outputs]

@@ -1,0 +1,37 @@
+"""Experiment harness regenerating every table and figure of the paper.
+
+Each ``run_*`` function returns structured rows (plain dicts) and the
+formatting layer prints them paper-style.  The pytest-benchmark suite in
+``benchmarks/`` wraps the same primitives; the CLI (``python -m repro``)
+is the human entry point.  See DESIGN.md for the experiment index and
+EXPERIMENTS.md for measured-vs-paper numbers.
+"""
+
+from repro.bench.format import format_table, print_table
+from repro.bench.runner import (
+    run_table1,
+    run_fig3,
+    run_fig4,
+    run_table2,
+    run_micro,
+    run_err,
+    run_comm,
+    run_attacks,
+    run_separation,
+    EXPERIMENTS,
+)
+
+__all__ = [
+    "format_table",
+    "print_table",
+    "run_table1",
+    "run_fig3",
+    "run_fig4",
+    "run_table2",
+    "run_micro",
+    "run_err",
+    "run_comm",
+    "run_attacks",
+    "run_separation",
+    "EXPERIMENTS",
+]

@@ -1,0 +1,76 @@
+"""Terminal plots for the figure experiments (no plotting dependency).
+
+The paper's Figures 3 and 4 are line charts; in a terminal-only
+environment we render log-scaled ASCII charts so `python -m repro fig3`
+and `fig4` show the *shape* directly, not just the table.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.errors import ParameterError
+
+__all__ = ["ascii_chart"]
+
+_MARKS = "ox+*#@%&"
+
+
+def ascii_chart(
+    series: dict[str, Sequence[tuple[float, float]]],
+    *,
+    width: int = 60,
+    height: int = 16,
+    log_y: bool = True,
+    title: str | None = None,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render named (x, y) series as an ASCII scatter/line chart.
+
+    ``log_y`` plots log10(y) — the natural scale for latency-vs-ε curves
+    spanning orders of magnitude.
+    """
+    points = [(x, y) for pts in series.values() for x, y in pts]
+    if not points:
+        raise ParameterError("nothing to plot")
+    if log_y and any(y <= 0 for _, y in points):
+        raise ParameterError("log_y requires positive y values")
+
+    def ty(y: float) -> float:
+        return math.log10(y) if log_y else y
+
+    xs = [x for x, _ in points]
+    ys = [ty(y) for _, y in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for idx, (name, pts) in enumerate(series.items()):
+        mark = _MARKS[idx % len(_MARKS)]
+        for x, y in pts:
+            col = round((x - x_lo) / x_span * (width - 1))
+            row = round((ty(y) - y_lo) / y_span * (height - 1))
+            grid[height - 1 - row][col] = mark
+
+    lines = []
+    if title:
+        lines.append(title)
+    y_top = f"{10 ** y_hi:.3g}" if log_y else f"{y_hi:.3g}"
+    y_bot = f"{10 ** y_lo:.3g}" if log_y else f"{y_lo:.3g}"
+    label_width = max(len(y_top), len(y_bot), len(y_label)) + 1
+    lines.append(f"{y_label.rjust(label_width)} |")
+    for i, row in enumerate(grid):
+        prefix = y_top if i == 0 else (y_bot if i == height - 1 else "")
+        lines.append(f"{prefix.rjust(label_width)} |{''.join(row)}")
+    lines.append(f"{' ' * label_width} +{'-' * width}")
+    x_axis = f"{x_lo:.3g}".ljust(width - len(f"{x_hi:.3g}")) + f"{x_hi:.3g}"
+    lines.append(f"{' ' * label_width}  {x_axis}  ({x_label})")
+    legend = "   ".join(
+        f"{_MARKS[i % len(_MARKS)]} {name}" for i, name in enumerate(series)
+    )
+    lines.append(f"{' ' * label_width}  {legend}")
+    return "\n".join(lines)

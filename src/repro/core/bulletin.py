@@ -1,0 +1,249 @@
+"""The public bulletin board — a byte-level transcript of ΠBin.
+
+Section 4.3: "As the verifier is public, anyone (even non-participants to
+ΠBin) can see the messages it receives."  This module makes that literal:
+every public message of a protocol run is serialized onto a
+:class:`BulletinBoard`, and :func:`replay_audit` re-derives the verifier's
+verdicts *from the bytes alone* — no live objects, no trust in the
+original verifier.  This is the mechanism behind Table 2's "Auditable"
+column and the third-party-replay example.
+
+The board stores (topic, party, payload-bytes) entries in order.  Topics:
+
+* ``client-broadcast/<id>``   — share commitments + validity proof,
+* ``coin-commitments/<k>``    — a prover's coin commitments + Σ-OR proofs,
+* ``morra-bits/<k>``          — the public bits from that prover's Morra,
+* ``prover-output/<k>``       — (y_k, z_k).
+
+Morra transcripts are recorded post-hoc as their resulting public bits:
+re-checking Morra's own commit-reveal interaction requires its (hash)
+commitments, which the simulated network does retain; for the audit the
+bits are what enter the Line 12 computation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.messages import (
+    ClientBroadcast,
+    CoinCommitmentMessage,
+    ProverOutputMessage,
+)
+from repro.core.params import PublicParams
+from repro.core.verifier import PublicVerifier
+from repro.crypto.serialization import (
+    decode_bit_proof,
+    decode_commitment,
+    decode_one_hot_proof,
+    encode_bit_proof,
+    encode_commitment,
+    encode_one_hot_proof,
+)
+from repro.crypto.sigma.or_bit import BitProof
+from repro.errors import EncodingError
+from repro.utils.encoding import (
+    decode_length_prefixed,
+    encode_length_prefixed,
+    int_to_bytes,
+)
+from repro.utils.rng import SeededRNG
+
+__all__ = ["BulletinBoard", "publish_run", "replay_audit"]
+
+
+@dataclass(frozen=True)
+class BoardEntry:
+    topic: str
+    party: str
+    payload: bytes
+
+
+@dataclass
+class BulletinBoard:
+    """An append-only public log of serialized protocol messages."""
+
+    entries: list[BoardEntry] = field(default_factory=list)
+
+    def publish(self, topic: str, party: str, payload: bytes) -> None:
+        self.entries.append(BoardEntry(topic, party, payload))
+
+    def topic(self, prefix: str) -> list[BoardEntry]:
+        return [e for e in self.entries if e.topic.startswith(prefix)]
+
+    def total_bytes(self) -> int:
+        return sum(len(e.payload) for e in self.entries)
+
+
+# Serialization of the composite messages --------------------------------------
+
+
+def _encode_client_broadcast(broadcast: ClientBroadcast) -> bytes:
+    rows = []
+    for row in broadcast.share_commitments:
+        rows.append(encode_length_prefixed(*[encode_commitment(c) for c in row]))
+    if isinstance(broadcast.validity_proof, BitProof):
+        proof = encode_length_prefixed(b"bit", encode_bit_proof(broadcast.validity_proof))
+    else:
+        proof = encode_length_prefixed(
+            b"onehot", encode_one_hot_proof(broadcast.validity_proof)
+        )
+    return encode_length_prefixed(
+        broadcast.client_id.encode(), proof, *rows
+    )
+
+
+def _decode_client_broadcast(params: PublicParams, data: bytes) -> ClientBroadcast:
+    parts = decode_length_prefixed(data)
+    if len(parts) < 3:
+        raise EncodingError("client broadcast too short")
+    client_id = parts[0].decode()
+    kind, proof_bytes = decode_length_prefixed(parts[1])
+    if kind == b"bit":
+        proof = decode_bit_proof(params.group, proof_bytes)
+    elif kind == b"onehot":
+        proof = decode_one_hot_proof(params.group, proof_bytes)
+    else:
+        raise EncodingError(f"unknown validity proof kind {kind!r}")
+    rows = []
+    for raw in parts[2:]:
+        rows.append(
+            tuple(decode_commitment(params.group, c) for c in decode_length_prefixed(raw))
+        )
+    return ClientBroadcast(client_id, tuple(rows), proof)
+
+
+def _encode_coin_message(message: CoinCommitmentMessage) -> bytes:
+    rows = []
+    for c_row, p_row in zip(message.commitments, message.proofs):
+        rows.append(
+            encode_length_prefixed(
+                *[encode_commitment(c) for c in c_row],
+                *[encode_bit_proof(p) for p in p_row],
+            )
+        )
+    return encode_length_prefixed(message.prover_id.encode(), *rows)
+
+
+def _decode_coin_message(params: PublicParams, data: bytes) -> CoinCommitmentMessage:
+    parts = decode_length_prefixed(data)
+    prover_id = parts[0].decode()
+    commitments = []
+    proofs = []
+    m = params.dimension
+    for raw in parts[1:]:
+        fields = decode_length_prefixed(raw)
+        if len(fields) != 2 * m:
+            raise EncodingError("coin row has wrong arity")
+        commitments.append(
+            tuple(decode_commitment(params.group, c) for c in fields[:m])
+        )
+        proofs.append(tuple(decode_bit_proof(params.group, p) for p in fields[m:]))
+    return CoinCommitmentMessage(prover_id, tuple(commitments), tuple(proofs))
+
+
+def _encode_bits(bits: list[list[int]]) -> bytes:
+    return encode_length_prefixed(*[bytes(row) for row in bits])
+
+
+def _decode_bits(data: bytes) -> list[list[int]]:
+    return [list(row) for row in decode_length_prefixed(data)]
+
+
+def _encode_output(output: ProverOutputMessage, params: PublicParams) -> bytes:
+    width = params.group.scalar_bytes
+    return encode_length_prefixed(
+        output.prover_id.encode(),
+        *[int_to_bytes(y, width) for y in output.y],
+        *[int_to_bytes(z, width) for z in output.z],
+    )
+
+
+def _decode_output(params: PublicParams, data: bytes) -> ProverOutputMessage:
+    parts = decode_length_prefixed(data)
+    prover_id = parts[0].decode()
+    m = params.dimension
+    if len(parts) != 1 + 2 * m:
+        raise EncodingError("prover output has wrong arity")
+    values = [int.from_bytes(raw, "big") for raw in parts[1:]]
+    return ProverOutputMessage(prover_id, tuple(values[:m]), tuple(values[m:]))
+
+
+# Publishing and replaying -------------------------------------------------------
+
+
+def publish_run(
+    params: PublicParams,
+    broadcasts: list[ClientBroadcast],
+    coin_messages: list[CoinCommitmentMessage],
+    public_bits: dict[str, list[list[int]]],
+    outputs: list[ProverOutputMessage],
+) -> BulletinBoard:
+    """Serialize one run's public messages onto a fresh board."""
+    board = BulletinBoard()
+    for broadcast in broadcasts:
+        board.publish(
+            f"client-broadcast/{broadcast.client_id}",
+            broadcast.client_id,
+            _encode_client_broadcast(broadcast),
+        )
+    for message in coin_messages:
+        board.publish(
+            f"coin-commitments/{message.prover_id}",
+            message.prover_id,
+            _encode_coin_message(message),
+        )
+    for prover_id, bits in public_bits.items():
+        board.publish(f"morra-bits/{prover_id}", prover_id, _encode_bits(bits))
+    for output in outputs:
+        board.publish(
+            f"prover-output/{output.prover_id}", output.prover_id, _encode_output(output, params)
+        )
+    return board
+
+
+def replay_audit(params: PublicParams, board: BulletinBoard):
+    """Re-run the complete public verification from serialized bytes.
+
+    Returns a fresh :class:`AuditRecord` derived only from the board.
+    Any third party holding (pp, board) computes the same verdicts as the
+    original verifier — the auditability property, end to end.
+    """
+    from repro.core.prover import broadcast_context_digest
+
+    auditor = PublicVerifier(params, SeededRNG("replay-auditor"), name="auditor")
+
+    broadcasts = [
+        _decode_client_broadcast(params, e.payload)
+        for e in board.topic("client-broadcast/")
+    ]
+    valid_ids = auditor.validate_clients(broadcasts)
+    context = broadcast_context_digest(broadcasts)
+
+    coin_messages = [
+        _decode_coin_message(params, e.payload)
+        for e in board.topic("coin-commitments/")
+    ]
+    bits_by_prover = {
+        e.party: _decode_bits(e.payload) for e in board.topic("morra-bits/")
+    }
+    outputs = [
+        _decode_output(params, e.payload) for e in board.topic("prover-output/")
+    ]
+
+    included = [b for b in broadcasts if b.client_id in set(valid_ids)]
+    order = {msg.prover_id: k for k, msg in enumerate(coin_messages)}
+    for message in coin_messages:
+        if not auditor.verify_coin_commitments(message, context):
+            continue
+        auditor.apply_public_bits(message.prover_id, bits_by_prover[message.prover_id])
+    for output in outputs:
+        if output.prover_id not in auditor._adjusted_products:
+            continue
+        k = order[output.prover_id]
+        client_commitments = [
+            [b.share_commitments[k][m] for b in included]
+            for m in range(params.dimension)
+        ]
+        auditor.check_prover_output(output, client_commitments)
+    return auditor.audit

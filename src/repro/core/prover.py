@@ -1,0 +1,319 @@
+"""Provers (curators) of ΠBin.
+
+A prover holds one additive share of every validated client's input
+(all of it, in plaintext, when K = 1) and must convince the public
+verifier that its output y_k equals
+
+    Σ_i ⟦x_i⟧_k  +  Σ_j v̂_{j,k}        with  v̂_{j,k} = v_{j,k} ⊕ b_{j,k}
+
+where the v are its own private coins (committed before the public Morra
+bits b are drawn, and proven to be bits via Σ-OR) — Lines 2–11 of
+Figure 2.
+
+The honest :class:`Prover` implements the protocol exactly; the cheating
+subclasses each deviate at one specific line, mirroring the case analysis
+in the paper's soundness proof ("Cheat at Line 4/7/10").  Every deviation
+is either *harmless by design* (biased private coins — the public XOR
+washes the bias out) or *detected* by the verifier with overwhelming
+probability.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.core.messages import (
+    ClientBroadcast,
+    ClientShareMessage,
+    CoinCommitmentMessage,
+    ProverOutputMessage,
+)
+from repro.core.params import PublicParams
+from repro.crypto.fiat_shamir import Transcript
+from repro.crypto.pedersen import Commitment, Opening
+from repro.crypto.sigma.or_bit import BitProof, prove_bit
+from repro.errors import ParameterError, ProtocolAbort
+from repro.mpc.morra import MorraParticipant
+from repro.utils.rng import RNG
+
+__all__ = [
+    "Prover",
+    "coin_transcript",
+    "BiasedCoinProver",
+    "NonBitCoinProver",
+    "SkipAdjustmentProver",
+    "OutputTamperingProver",
+    "InputDroppingProver",
+    "InputInjectingProver",
+]
+
+
+def coin_transcript(params: PublicParams, prover_id: str, context: bytes) -> Transcript:
+    """The Fiat–Shamir transcript for a prover's coin proofs.
+
+    Bound to pp, the prover's identity and a digest of all public client
+    messages, so coin proofs cannot be replayed across runs or provers.
+    """
+    transcript = Transcript("repro.pibin.prover-coins")
+    transcript.append_bytes("params", params.fingerprint())
+    transcript.append_str("prover", prover_id)
+    transcript.append_bytes("context", context)
+    return transcript
+
+
+def broadcast_context_digest(broadcasts: list[ClientBroadcast]) -> bytes:
+    """Digest of the public client phase, shared by prover and verifier."""
+    h = hashlib.sha256(b"repro.pibin.context")
+    for broadcast in broadcasts:
+        h.update(broadcast.client_id.encode())
+        for row in broadcast.share_commitments:
+            for commitment in row:
+                h.update(commitment.to_bytes())
+    return h.digest()
+
+
+class Prover(MorraParticipant):
+    """An honest ΠBin prover (index k)."""
+
+    def __init__(self, name: str, params: PublicParams, rng: RNG | None = None) -> None:
+        super().__init__(name, rng)
+        self.params = params
+        # State accumulated across phases.
+        self._client_openings: dict[str, tuple[Opening, ...]] = {}
+        self._coin_openings: list[list[Opening]] = []  # [j][m]
+        self._coin_commitments: list[list[Commitment]] = []
+
+    # Phase A: receive client shares ---------------------------------------
+
+    def receive_client_share(
+        self,
+        broadcast: ClientBroadcast,
+        message: ClientShareMessage,
+        prover_index: int,
+    ) -> bool:
+        """Check the private openings against the public commitments.
+
+        Returns False (a public complaint) when the client's opening does
+        not match what it broadcast — the client is then excluded
+        everywhere.  The client→prover channel is authenticated in our
+        model, so a complaint is attributable to the client.
+        """
+        if broadcast.client_id != message.client_id:
+            raise ParameterError("broadcast/share client mismatch")
+        if len(message.openings) != self.params.dimension:
+            return False
+        commitments = broadcast.share_commitments[prover_index]
+        for commitment, opening in zip(commitments, message.openings):
+            if not self.params.pedersen.opens_to(commitment, opening):
+                return False
+        self._client_openings[message.client_id] = message.openings
+        return True
+
+    # Phase B: private coins (Lines 4-5) ------------------------------------
+
+    def choose_coin(self, j: int, m: int) -> int:
+        """Sample the private coin v_{j,m}.
+
+        Honest provers sample uniformly; the protocol tolerates *any*
+        bias here (the Morra XOR re-randomizes), which
+        :class:`BiasedCoinProver` demonstrates.
+        """
+        return self.rng.coin()
+
+    def commit_coins(self, context: bytes) -> CoinCommitmentMessage:
+        """Commit to nb × M private coins and prove each is a bit."""
+        params = self.params
+        transcript = coin_transcript(params, self.name, context)
+        commitments: list[list[Commitment]] = []
+        openings: list[list[Opening]] = []
+        proofs: list[list[BitProof]] = []
+        for j in range(params.nb):
+            c_row: list[Commitment] = []
+            o_row: list[Opening] = []
+            p_row: list[BitProof] = []
+            for m in range(params.dimension):
+                coin = self.choose_coin(j, m)
+                c, o = params.pedersen.commit_fresh(coin, self.rng)
+                proof = self._prove_coin(c, o, transcript)
+                c_row.append(c)
+                o_row.append(o)
+                p_row.append(proof)
+            commitments.append(c_row)
+            openings.append(o_row)
+            proofs.append(p_row)
+        self._coin_commitments = commitments
+        self._coin_openings = openings
+        return CoinCommitmentMessage(
+            prover_id=self.name,
+            commitments=tuple(tuple(row) for row in commitments),
+            proofs=tuple(tuple(row) for row in proofs),
+        )
+
+    def _prove_coin(self, commitment: Commitment, opening: Opening, transcript: Transcript) -> BitProof:
+        """Hook so :class:`NonBitCoinProver` can attempt forgery."""
+        return prove_bit(self.params.pedersen, commitment, opening, transcript, self.rng)
+
+    # Phase C: XOR adjustment and output (Lines 9-11) ------------------------
+
+    def adjusted_coin(self, opening: Opening, bit: int) -> tuple[int, int]:
+        """(v̂, signed randomness) for one coin given the public bit.
+
+        b = 0:  v̂ = v,      randomness  +s   (commitment unchanged)
+        b = 1:  v̂ = 1 - v,  randomness  -s   (ĉ' = Com(1,0) · c'⁻¹)
+        """
+        q = self.params.q
+        if bit == 0:
+            return opening.value % q, opening.randomness % q
+        return (1 - opening.value) % q, (-opening.randomness) % q
+
+    def select_client_ids(self, valid_ids: list[str]) -> list[str]:
+        """Which validated clients to aggregate (honest: all of them)."""
+        return list(valid_ids)
+
+    def compute_output(
+        self, valid_ids: list[str], public_bits: list[list[int]]
+    ) -> ProverOutputMessage:
+        """Aggregate shares and adjusted coins into (y_k, z_k) per coordinate."""
+        params = self.params
+        q = params.q
+        if len(public_bits) != params.nb or any(
+            len(row) != params.dimension for row in public_bits
+        ):
+            raise ProtocolAbort("public bit matrix has wrong shape", party=self.name)
+        y = [0] * params.dimension
+        z = [0] * params.dimension
+        for client_id in self.select_client_ids(valid_ids):
+            openings = self._client_openings.get(client_id)
+            if openings is None:
+                raise ProtocolAbort(
+                    f"validated client {client_id!r} never sent this prover a share",
+                    party=self.name,
+                )
+            for m, opening in enumerate(openings):
+                y[m] = (y[m] + opening.value) % q
+                z[m] = (z[m] + opening.randomness) % q
+        for j in range(params.nb):
+            for m in range(params.dimension):
+                value, randomness = self.adjusted_coin(
+                    self._coin_openings[j][m], public_bits[j][m]
+                )
+                y[m] = (y[m] + value) % q
+                z[m] = (z[m] + randomness) % q
+        return self._emit_output(y, z)
+
+    def _emit_output(self, y: list[int], z: list[int]) -> ProverOutputMessage:
+        """Hook so :class:`OutputTamperingProver` can lie at the last step."""
+        return ProverOutputMessage(prover_id=self.name, y=tuple(y), z=tuple(z))
+
+
+# --------------------------------------------------------------------------
+# Cheating provers — one per line of the soundness case analysis.
+# --------------------------------------------------------------------------
+
+
+class BiasedCoinProver(Prover):
+    """Samples every private coin as 1 (maximal bias).
+
+    *Not* an attack: the paper lets provers pick private coins with "any
+    arbitrary bias" — v̂ = v ⊕ b is uniform because the Morra bit b is.
+    Tests use this prover to show the output distribution is unchanged.
+    """
+
+    def choose_coin(self, j: int, m: int) -> int:
+        return 1
+
+
+class NonBitCoinProver(Prover):
+    """Cheat at Line 4: commits to v = 2 ∉ {0, 1}.
+
+    It cannot produce a real Σ-OR proof for a non-bit (the honest prover
+    refuses), so it ships a *simulated-looking* proof built for a fake
+    challenge; the Fiat–Shamir challenge bound to the transcript will not
+    match and the verifier rejects with status BAD_COIN_PROOF.
+    """
+
+    def __init__(self, name: str, params: PublicParams, rng: RNG | None = None, *, bad_value: int = 2) -> None:
+        super().__init__(name, params, rng)
+        self.bad_value = bad_value
+
+    def choose_coin(self, j: int, m: int) -> int:
+        return self.bad_value
+
+    def _prove_coin(self, commitment: Commitment, opening: Opening, transcript: Transcript):
+        from repro.crypto.sigma.or_bit import simulate_bit_transcript
+
+        # Forge: simulate against a self-chosen challenge. The transcript
+        # must still be advanced the same way an honest proof would, or
+        # every later proof would also fail (hiding which coin cheated).
+        from repro.crypto.sigma.or_bit import _bind  # same binding as honest path
+
+        _bind(transcript, self.params.pedersen, commitment)
+        fake_challenge = self.rng.field_element(self.params.q)
+        proof = simulate_bit_transcript(self.params.pedersen, commitment, fake_challenge, self.rng)
+        transcript.append_element("d0", proof.d0)
+        transcript.append_element("d1", proof.d1)
+        transcript.challenge_scalar("or-challenge", self.params.q)
+        return proof
+
+
+class SkipAdjustmentProver(Prover):
+    """Cheat at Line 9: ignores the public Morra bits (keeps v̂ = v).
+
+    Its (y, z) no longer matches the verifier's adjusted commitment
+    product unless every Morra bit came up 0 (probability 2^-nb·M); the
+    Line 13 check fails — status FAILED_FINAL_CHECK.
+    """
+
+    def adjusted_coin(self, opening: Opening, bit: int) -> tuple[int, int]:
+        return opening.value % self.params.q, opening.randomness % self.params.q
+
+
+class OutputTamperingProver(Prover):
+    """Cheat at Line 10: shifts the released count by ``bias``.
+
+    This is *the* attack motivating the paper — nudging the tally and
+    blaming the discrepancy on DP noise.  To pass Line 13 it would need a
+    second opening of the commitment product, i.e. break binding.
+    """
+
+    def __init__(self, name: str, params: PublicParams, rng: RNG | None = None, *, bias: int = 10) -> None:
+        super().__init__(name, params, rng)
+        self.bias = bias
+
+    def _emit_output(self, y: list[int], z: list[int]) -> ProverOutputMessage:
+        tampered = [(value + self.bias) % self.params.q for value in y]
+        return ProverOutputMessage(prover_id=self.name, y=tuple(tampered), z=tuple(z))
+
+
+class InputDroppingProver(Prover):
+    """Figure 1(a) as attempted inside ΠBin: silently exclude a client.
+
+    Unlike in Poplar/PRIO, the victim's share commitment is public, so
+    the verifier's product on Line 13 includes it and the prover's
+    dropped aggregate cannot match — guaranteed inclusion of honest
+    clients.
+    """
+
+    def __init__(self, name: str, params: PublicParams, rng: RNG | None = None, *, victim: str = "") -> None:
+        super().__init__(name, params, rng)
+        self.victim = victim
+
+    def select_client_ids(self, valid_ids: list[str]) -> list[str]:
+        return [cid for cid in valid_ids if cid != self.victim]
+
+
+class InputInjectingProver(Prover):
+    """Figure 1(b) as attempted inside ΠBin: stuff extra ballots.
+
+    Adds ``extra`` phantom votes to its aggregate; no public commitment
+    backs them, so Line 13 fails.
+    """
+
+    def __init__(self, name: str, params: PublicParams, rng: RNG | None = None, *, extra: int = 5) -> None:
+        super().__init__(name, params, rng)
+        self.extra = extra
+
+    def compute_output(self, valid_ids, public_bits) -> ProverOutputMessage:
+        honest = super().compute_output(valid_ids, public_bits)
+        y = [(value + self.extra) % self.params.q for value in honest.y]
+        return ProverOutputMessage(prover_id=self.name, y=tuple(y), z=honest.z)

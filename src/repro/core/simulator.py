@@ -1,0 +1,224 @@
+"""Zero-knowledge simulators for ΠBin (Proof 1, case 3 and Appendix D).
+
+These are executable versions of the simulators in the paper's security
+proof.  A simulator is given only what a corrupted verifier legitimately
+learns — the public client commitments and the *ideal* output y of MBin —
+and must fabricate a transcript indistinguishable from a real run.  That
+such a transcript exists (and passes every public check) is exactly why
+the protocol leaks nothing beyond y.
+
+Construction (Appendix D, K = 1):
+
+1. receive the public client commitments {c_i} and the ideal y,
+2. pick z ← R_pp and target Com(y, z),
+3. fabricate coin commitments: c'_j = Com(1, s_j) for j >= 2, and solve
+   for the first *adjusted* commitment
+   ĉ'_1 = Com(y, z) · (Π_i c_i)⁻¹ · (Π_{j>=2} ĉ'_j)⁻¹ so the Line 13
+   product holds; un-adjust by the pre-programmed Morra bit to get c'_1,
+4. program the Morra oracle with the pre-sampled public bits (the
+   simulator controls O_morra in the hybrid world).
+
+The simulator cannot open c'_1 — but it never must: c'_1 *is* a
+commitment to a bit (Pedersen commitments are perfectly hiding, every
+group element commits to every value), so the O_OR oracle answers 1.  In
+the real (non-hybrid) world that step is the Σ-OR proof, whose simulation
+requires programming the random oracle; tests therefore compare the
+hybrid-world views, exactly as the paper's proof does.
+
+The MPC case (K = 2, Proof 1) additionally receives the corrupted
+prover's input X₁ and its noise Δ₁ from MBin, sets y₁ = X₁ + Δ₁ and
+simulates the honest prover's output share as y₂ = y - y₁.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.params import PublicParams
+from repro.crypto.pedersen import Commitment
+from repro.dp.binomial import sample_binomial
+from repro.errors import ParameterError
+from repro.utils.rng import RNG, default_rng
+
+__all__ = [
+    "SimulatedProverView",
+    "simulate_curator_view",
+    "simulate_mpc_view",
+    "simulate_mpc_view_general",
+]
+
+
+@dataclass(frozen=True)
+class SimulatedProverView:
+    """The public view of one prover's run, as fabricated by the simulator.
+
+    Mirrors what a verifier sees in a real run: the coin commitments, the
+    public Morra bits, and the output (y, z).  ``verify_line13`` replays
+    the verifier's product check — the distinguisher's strongest test.
+    """
+
+    coin_commitments: tuple[Commitment, ...]
+    public_bits: tuple[int, ...]
+    y: int
+    z: int
+
+    def adjusted_products(self, params: PublicParams) -> Commitment:
+        """Π_j ĉ'_j per Line 12."""
+        product = params.pedersen.commitment_to_constant(0)
+        for commitment, bit in zip(self.coin_commitments, self.public_bits):
+            adjusted = params.pedersen.one_minus(commitment) if bit else commitment
+            product = product * adjusted
+        return product
+
+    def verify_line13(
+        self, params: PublicParams, client_commitments: list[Commitment]
+    ) -> bool:
+        """The verifier's final check on this (simulated) view."""
+        lhs = self.adjusted_products(params)
+        for commitment in client_commitments:
+            lhs = lhs * commitment
+        rhs = params.pedersen.commit(self.y, self.z)
+        return lhs.element == rhs.element
+
+
+def _fabricate_view(
+    params: PublicParams,
+    client_commitments: list[Commitment],
+    y_share: int,
+    rng: RNG,
+) -> SimulatedProverView:
+    """Steps 2-4 of the simulator for one prover's view."""
+    pedersen = params.pedersen
+    q = params.q
+    nb = params.nb
+    if nb < 1:
+        raise ParameterError("nb must be at least 1")
+
+    z = rng.field_element(q)
+    target = pedersen.commit(y_share, z)
+
+    # Pre-programmed public bits (the simulator controls O_morra).
+    bits = [rng.coin() for _ in range(nb)]
+
+    # Coin commitments j >= 2: honest-looking commitments to 1.
+    tail_commitments: list[Commitment] = []
+    tail_adjusted: list[Commitment] = []
+    for j in range(1, nb):
+        c, _ = pedersen.commit_fresh(1, rng)
+        tail_commitments.append(c)
+        tail_adjusted.append(pedersen.one_minus(c) if bits[j] else c)
+
+    # Solve for the first adjusted commitment so Line 13 holds.
+    inverse_product = params.group.identity()
+    for c in tail_adjusted:
+        inverse_product = inverse_product * c.element
+    for c in client_commitments:
+        inverse_product = inverse_product * c.element
+    adjusted_first = Commitment(target.element / inverse_product)
+    first = (
+        pedersen.one_minus(adjusted_first) if bits[0] else adjusted_first
+    )  # one_minus is an involution: un-adjusting equals adjusting again
+
+    return SimulatedProverView(
+        coin_commitments=tuple([first] + tail_commitments),
+        public_bits=tuple(bits),
+        y=y_share % q,
+        z=z,
+    )
+
+
+def simulate_curator_view(
+    params: PublicParams,
+    client_commitments: list[Commitment],
+    ideal_output: int,
+    rng: RNG | None = None,
+) -> SimulatedProverView:
+    """Appendix D: simulate the single curator's public view.
+
+    ``ideal_output`` is y = MBin(X, Q) obtained from the ideal
+    functionality — the *only* data-dependent value the simulator sees.
+    """
+    if params.num_provers != 1:
+        raise ParameterError("curator simulation requires K = 1 params")
+    if params.dimension != 1:
+        raise ParameterError("simulator implemented for the counting query (M = 1)")
+    rng = default_rng(rng)
+    return _fabricate_view(params, client_commitments, ideal_output, rng)
+
+
+def simulate_mpc_view(
+    params: PublicParams,
+    client_commitments_by_prover: list[list[Commitment]],
+    corrupted_input: int,
+    ideal_output: int,
+    rng: RNG | None = None,
+) -> tuple[int, SimulatedProverView]:
+    """Proof 1 case 3 (K = 2, Pv₁ and Vfr* corrupted, Pv₂ honest).
+
+    ``corrupted_input`` is X₁ — the aggregate share the *corrupted* prover
+    actually used (extracted from the adversary, not from honest clients,
+    per the definition of security).  Returns (y₁, honest prover view):
+    the simulator samples Δ₁ itself (as MBin would), sets y₁ = X₁ + Δ₁
+    and fabricates Pv₂'s view for y₂ = y - y₁.
+    """
+    if params.num_provers != 2:
+        raise ParameterError("this simulator is specialized to K = 2, as in the paper")
+    if params.dimension != 1:
+        raise ParameterError("simulator implemented for the counting query (M = 1)")
+    rng = default_rng(rng)
+    q = params.q
+    delta1 = sample_binomial(params.nb, rng)
+    y1 = (corrupted_input + delta1) % q
+    y2 = (ideal_output - y1) % q
+    view2 = _fabricate_view(params, client_commitments_by_prover[1], y2, rng)
+    return y1, view2
+
+
+def simulate_mpc_view_general(
+    params: PublicParams,
+    client_commitments_by_prover: list[list[Commitment]],
+    corrupted_inputs: dict[int, int],
+    ideal_output: int,
+    rng: RNG | None = None,
+) -> tuple[dict[int, int], dict[int, SimulatedProverView]]:
+    """The K >= 2 generalization the paper asserts ("trivially generalises").
+
+    ``corrupted_inputs`` maps corrupted prover indices (the set I, a
+    *proper* subset of [K]) to the aggregate inputs X_k the adversary
+    actually used.  Per MBin's ideal functionality the simulator draws an
+    independent Δ_k for each corrupted prover (y_k = X_k + Δ_k); the
+    honest provers' output shares are fabricated as uniform values summing
+    to y - Σ_{k∈I} y_k, each backed by a view passing the Line 13 check
+    on that prover's public client commitments.
+
+    Returns ({corrupted k: y_k}, {honest k: fabricated view}).
+    """
+    k_total = params.num_provers
+    if len(client_commitments_by_prover) != k_total:
+        raise ParameterError("need one commitment list per prover")
+    corrupted = set(corrupted_inputs)
+    if not corrupted.issubset(range(k_total)) or len(corrupted) >= k_total:
+        raise ParameterError("corrupted set must be a proper subset of [K]")
+    if params.dimension != 1:
+        raise ParameterError("simulator implemented for the counting query (M = 1)")
+    rng = default_rng(rng)
+    q = params.q
+
+    corrupted_outputs: dict[int, int] = {}
+    for k, x_k in corrupted_inputs.items():
+        corrupted_outputs[k] = (x_k + sample_binomial(params.nb, rng)) % q
+
+    honest = sorted(set(range(k_total)) - corrupted)
+    residual = (ideal_output - sum(corrupted_outputs.values())) % q
+    shares: dict[int, int] = {}
+    running = 0
+    for k in honest[:-1]:
+        shares[k] = rng.field_element(q)
+        running = (running + shares[k]) % q
+    shares[honest[-1]] = (residual - running) % q
+
+    views = {
+        k: _fabricate_view(params, client_commitments_by_prover[k], shares[k], rng)
+        for k in honest
+    }
+    return corrupted_outputs, views

@@ -1,0 +1,176 @@
+"""The public verifier of ΠBin.
+
+The verifier (the "analyst" Vfr) never sees a client input, a private
+coin, or any commitment opening other than the aggregate (y_k, z_k).  It:
+
+1. validates every client's Σ-OR / one-hot proof over the *derived*
+   commitments (Line 3) and publishes the per-client verdicts,
+2. checks every prover's coin commitments are bits (Lines 5–6),
+3. co-samples the public Morra bits with each prover (Lines 7–8),
+4. applies the linear commitment update ĉ' (Line 12) — computing a
+   commitment to v̂ = v ⊕ b without knowing v, and
+5. checks Π_i c_{i,k} · Π_j ĉ'_{j,k} == Com(y_k, z_k) (Line 13).
+
+Because all five steps consume only public messages, *anyone* can replay
+them: the audit record produced here is reproducible by third parties,
+which is the "publicly auditable" property of Table 2.
+"""
+
+from __future__ import annotations
+
+from repro.core.client import _client_transcript
+from repro.core.messages import (
+    AuditRecord,
+    ClientBroadcast,
+    ClientStatus,
+    CoinCommitmentMessage,
+    ProverOutputMessage,
+    ProverStatus,
+)
+from repro.core.params import PublicParams
+from repro.core.prover import coin_transcript
+from repro.crypto.pedersen import Commitment
+from repro.crypto.sigma.onehot import OneHotProof, verify_one_hot
+from repro.crypto.sigma.or_bit import BitProof, verify_bit
+from repro.errors import VerificationError
+from repro.mpc.morra import MorraParticipant
+from repro.utils.rng import RNG
+
+__all__ = ["PublicVerifier"]
+
+
+class PublicVerifier(MorraParticipant):
+    """The (honest) public verifier / analyst."""
+
+    def __init__(self, params: PublicParams, rng: RNG | None = None, *, name: str = "verifier") -> None:
+        super().__init__(name, rng)
+        self.params = params
+        self.audit = AuditRecord()
+        # Adjusted coin-commitment products per prover, filled in phase 4.
+        self._coin_messages: dict[str, CoinCommitmentMessage] = {}
+        self._adjusted_products: dict[str, list[Commitment]] = {}
+
+    # Phase 1: client validation (Line 3) -----------------------------------
+
+    def validate_client(self, broadcast: ClientBroadcast) -> ClientStatus:
+        """Check shape and the validity proof of one client submission."""
+        params = self.params
+        expected_shape = (
+            len(broadcast.share_commitments) == params.num_provers
+            and all(len(row) == params.dimension for row in broadcast.share_commitments)
+        )
+        if not expected_shape:
+            return ClientStatus.INVALID_PROOF
+        derived = broadcast.derived_commitments()
+        transcript = _client_transcript(params, broadcast.client_id)
+        try:
+            if params.dimension == 1:
+                if not isinstance(broadcast.validity_proof, BitProof):
+                    return ClientStatus.INVALID_PROOF
+                verify_bit(params.pedersen, derived[0], broadcast.validity_proof, transcript)
+            else:
+                if not isinstance(broadcast.validity_proof, OneHotProof):
+                    return ClientStatus.INVALID_PROOF
+                verify_one_hot(params.pedersen, derived, broadcast.validity_proof, transcript)
+        except VerificationError:
+            return ClientStatus.INVALID_PROOF
+        return ClientStatus.VALID
+
+    def validate_clients(
+        self,
+        broadcasts: list[ClientBroadcast],
+        complaints: dict[str, list[str]] | None = None,
+    ) -> list[str]:
+        """Validate all clients; returns ids of included clients.
+
+        ``complaints`` maps prover name → client ids whose private opening
+        failed that prover's check; such clients are excluded with status
+        BAD_OPENING (the public record resolving Figure 1's ambiguity).
+        """
+        complained = {cid for cids in (complaints or {}).values() for cid in cids}
+        valid: list[str] = []
+        for broadcast in broadcasts:
+            status = self.validate_client(broadcast)
+            if status is ClientStatus.VALID and broadcast.client_id in complained:
+                status = ClientStatus.BAD_OPENING
+            self.audit.clients[broadcast.client_id] = status
+            if status is ClientStatus.VALID:
+                valid.append(broadcast.client_id)
+        return valid
+
+    # Phase 2: prover coin validation (Lines 5-6) ----------------------------
+
+    def verify_coin_commitments(self, message: CoinCommitmentMessage, context: bytes) -> bool:
+        """Check every coin commitment is a bit; record verdict on failure."""
+        params = self.params
+        transcript = coin_transcript(params, message.prover_id, context)
+        shape_ok = len(message.commitments) == params.nb and len(message.proofs) == params.nb
+        if shape_ok:
+            shape_ok = all(
+                len(c_row) == params.dimension and len(p_row) == params.dimension
+                for c_row, p_row in zip(message.commitments, message.proofs)
+            )
+        if not shape_ok:
+            self.audit.provers[message.prover_id] = ProverStatus.BAD_COIN_PROOF
+            self.audit.note(f"{message.prover_id}: malformed coin message")
+            return False
+        try:
+            for c_row, p_row in zip(message.commitments, message.proofs):
+                for commitment, proof in zip(c_row, p_row):
+                    verify_bit(params.pedersen, commitment, proof, transcript)
+        except VerificationError as exc:
+            self.audit.provers[message.prover_id] = ProverStatus.BAD_COIN_PROOF
+            self.audit.note(f"{message.prover_id}: coin proof rejected ({exc})")
+            return False
+        self._coin_messages[message.prover_id] = message
+        return True
+
+    # Phase 3/4: Morra results and the Line 12 update -------------------------
+
+    def apply_public_bits(self, prover_id: str, public_bits: list[list[int]]) -> None:
+        """Compute Π_j ĉ'_j per coordinate from the public bits (Line 12)."""
+        params = self.params
+        message = self._coin_messages[prover_id]
+        products: list[Commitment] = [
+            params.pedersen.commitment_to_constant(0) for _ in range(params.dimension)
+        ]
+        for j in range(params.nb):
+            for m in range(params.dimension):
+                c = message.commitments[j][m]
+                adjusted = params.pedersen.one_minus(c) if public_bits[j][m] == 1 else c
+                products[m] = products[m] * adjusted
+        self._adjusted_products[prover_id] = products
+
+    # Phase 5: final homomorphic check (Line 13) ------------------------------
+
+    def check_prover_output(
+        self,
+        output: ProverOutputMessage,
+        client_commitments: list[list[Commitment]],
+    ) -> bool:
+        """Line 13 for one prover.
+
+        ``client_commitments[m]`` lists the included clients' commitments
+        to this prover's shares of coordinate m.
+        """
+        params = self.params
+        prover_id = output.prover_id
+        if prover_id not in self._adjusted_products:
+            self.audit.provers[prover_id] = ProverStatus.ABORTED
+            return False
+        if len(output.y) != params.dimension or len(output.z) != params.dimension:
+            self.audit.provers[prover_id] = ProverStatus.FAILED_FINAL_CHECK
+            return False
+        for m in range(params.dimension):
+            lhs = self._adjusted_products[prover_id][m]
+            for commitment in client_commitments[m]:
+                lhs = lhs * commitment
+            rhs = params.pedersen.commit(output.y[m], output.z[m])
+            if lhs.element != rhs.element:
+                self.audit.provers[prover_id] = ProverStatus.FAILED_FINAL_CHECK
+                self.audit.note(
+                    f"{prover_id}: commitment product mismatch on coordinate {m}"
+                )
+                return False
+        self.audit.provers[prover_id] = ProverStatus.HONEST
+        return True

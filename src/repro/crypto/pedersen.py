@@ -1,0 +1,165 @@
+"""Pedersen commitments (Definition 2/3, equation (11)).
+
+``Com(x, r) = g^x * h^r`` over a prime-order group in which the discrete
+log of h base g is unknown.  The scheme is
+
+* perfectly **hiding** — for any x, the commitment is uniform over the
+  group as r varies, so even an unbounded verifier learns nothing (this is
+  what makes the ZK side of verifiable DP *statistical* against the
+  verifier while soundness is only computational; see Theorem 5.2), and
+* computationally **binding** — opening one commitment two ways yields
+  log_g(h) (Definition 9/11).  ``repro.analysis.separation`` demonstrates
+  exactly this break given a discrete-log oracle.
+
+The homomorphism ``Com(x1, r1) * Com(x2, r2) = Com(x1+x2, r1+r2)`` is what
+lets the public verifier check the prover's aggregate on Line 13 of ΠBin
+without seeing any opening.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.crypto.group import Group, GroupElement
+from repro.crypto.multiexp import FixedBaseTable
+from repro.errors import CommitmentOpeningError, ParameterError
+from repro.utils.rng import RNG, default_rng
+
+__all__ = ["PedersenParams", "Commitment", "Opening"]
+
+
+@dataclass(frozen=True)
+class Opening:
+    """An opening (x, r) of a Pedersen commitment.
+
+    In the paper's notation these are the values a party reveals to open
+    ``c = Com(x, r)``; the message space and randomness space are both Z_q.
+    """
+
+    value: int
+    randomness: int
+
+    def __add__(self, other: "Opening") -> "Opening":
+        # Addition is performed by PedersenParams.add_openings (needs q);
+        # this operator exists only to give a friendly error.
+        raise TypeError("use PedersenParams.add_openings to add openings mod q")
+
+
+@dataclass(frozen=True)
+class Commitment:
+    """A Pedersen commitment: a single group element.
+
+    Thin immutable wrapper so type signatures distinguish commitments from
+    bare group elements; supports the homomorphic ``*`` and ``/``.
+    """
+
+    element: GroupElement
+
+    def __mul__(self, other: "Commitment") -> "Commitment":
+        if not isinstance(other, Commitment):
+            return NotImplemented
+        return Commitment(self.element * other.element)
+
+    def __truediv__(self, other: "Commitment") -> "Commitment":
+        if not isinstance(other, Commitment):
+            return NotImplemented
+        return Commitment(self.element / other.element)
+
+    def __pow__(self, exponent: int) -> "Commitment":
+        return Commitment(self.element ** exponent)
+
+    def to_bytes(self) -> bytes:
+        return self.element.to_bytes()
+
+
+class PedersenParams:
+    """Public parameters (pp) for Pedersen commitments over ``group``.
+
+    ``h`` is derived by hashing-to-group, so no party knows log_g(h)
+    ("nothing up my sleeve"); Setup(1^κ) in the paper.
+    """
+
+    def __init__(self, group: Group, *, h_label: bytes = b"repro.pedersen.h") -> None:
+        self.group = group
+        self.g = group.generator()
+        self.h = group.hash_to_group(h_label)
+        if self.h == self.g or self.h.is_identity():
+            raise ParameterError("degenerate h; choose a different label")
+        self.q = group.order
+        # Fixed-base tables: the protocol commits to thousands of coins with
+        # the same two generators, so comb tables pay for themselves fast.
+        self._g_table = FixedBaseTable(self.g)
+        self._h_table = FixedBaseTable(self.h)
+
+    # Committing ----------------------------------------------------------
+
+    def commit(self, value: int, randomness: int) -> Commitment:
+        """Com(value, randomness) = g^value * h^randomness."""
+        value %= self.q
+        randomness %= self.q
+        return Commitment(self._g_table.power(value) * self._h_table.power(randomness))
+
+    def commit_fresh(self, value: int, rng: RNG | None = None) -> tuple[Commitment, Opening]:
+        """Commit with fresh uniform randomness; returns (c, opening)."""
+        r = default_rng(rng).field_element(self.q)
+        return self.commit(value, r), Opening(value % self.q, r)
+
+    def commit_vector(
+        self, values: Sequence[int], rng: RNG | None = None
+    ) -> tuple[list[Commitment], list[Opening]]:
+        """Coordinate-wise commitments to a vector (one-hot inputs etc.)."""
+        rng = default_rng(rng)
+        commitments: list[Commitment] = []
+        openings: list[Opening] = []
+        for value in values:
+            c, o = self.commit_fresh(value, rng)
+            commitments.append(c)
+            openings.append(o)
+        return commitments, openings
+
+    # Verifying -----------------------------------------------------------
+
+    def verify_opening(self, commitment: Commitment, opening: Opening) -> None:
+        """Raise :class:`CommitmentOpeningError` unless c == Com(x, r)."""
+        expected = self.commit(opening.value, opening.randomness)
+        if expected.element != commitment.element:
+            raise CommitmentOpeningError("opening does not match commitment")
+
+    def opens_to(self, commitment: Commitment, opening: Opening) -> bool:
+        """Boolean form of :meth:`verify_opening`."""
+        return self.commit(opening.value, opening.randomness).element == commitment.element
+
+    # Homomorphic helpers ---------------------------------------------------
+
+    def add_openings(self, openings: Iterable[Opening]) -> Opening:
+        """Opening of the product of the corresponding commitments."""
+        value = 0
+        randomness = 0
+        for opening in openings:
+            value = (value + opening.value) % self.q
+            randomness = (randomness + opening.randomness) % self.q
+        return Opening(value, randomness)
+
+    def product(self, commitments: Iterable[Commitment]) -> Commitment:
+        """Com of the sum: product of commitments."""
+        return Commitment(self.group.product(c.element for c in commitments))
+
+    def commitment_to_constant(self, value: int) -> Commitment:
+        """Com(value, 0) — used by the verifier's Line 12 update ĉ' = Com(1,0)/c'."""
+        return Commitment(self._g_table.power(value % self.q))
+
+    def one_minus(self, commitment: Commitment) -> Commitment:
+        """Com(1, 0) * c^-1: a commitment to 1 - x with randomness -r.
+
+        This is exactly the verifier's linear update for b = 1 on Line 12
+        of Figure 2: the verifier computes a commitment to the XOR-adjusted
+        bit without ever seeing the bit.
+        """
+        return Commitment(self.commitment_to_constant(1).element / commitment.element)
+
+    def transcript_bytes(self) -> bytes:
+        """Canonical encoding of pp, bound into every proof transcript."""
+        return b"|".join(
+            [self.group.name.encode(), self.g.to_bytes(), self.h.to_bytes()]
+        )

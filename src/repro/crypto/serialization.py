@@ -1,0 +1,167 @@
+"""Canonical byte serialization for proof artifacts.
+
+A *public* verifier only makes sense if the protocol's messages can live
+on a bulletin board: commitments, Σ-proofs and prover outputs must have
+canonical byte encodings that any third party can parse and re-verify.
+This module provides exactly that — a small, versioned, length-prefixed
+wire format over the primitives' own canonical encodings:
+
+* scalars: fixed-width big-endian at the group's scalar width,
+* group elements / commitments: the backend's canonical encoding,
+* structures: tagged, length-prefixed concatenation (no ambiguity).
+
+Decoding validates group membership (via ``Group.from_bytes``), so a
+deserialized proof is already structurally sound; cryptographic
+verification is still the caller's job.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.group import Group
+from repro.crypto.pedersen import Commitment
+from repro.crypto.sigma.onehot import OneHotProof
+from repro.crypto.sigma.opening_pok import OpeningProof
+from repro.crypto.sigma.or_bit import BitProof
+from repro.crypto.sigma.schnorr_pok import SchnorrProof
+from repro.errors import EncodingError
+from repro.utils.encoding import (
+    decode_length_prefixed,
+    encode_length_prefixed,
+    int_to_bytes,
+)
+
+__all__ = [
+    "encode_commitment",
+    "decode_commitment",
+    "encode_bit_proof",
+    "decode_bit_proof",
+    "encode_one_hot_proof",
+    "decode_one_hot_proof",
+    "encode_schnorr_proof",
+    "decode_schnorr_proof",
+    "encode_opening_proof",
+    "decode_opening_proof",
+]
+
+_MAGIC_BIT = b"repro.bitproof.v1"
+_MAGIC_ONEHOT = b"repro.onehot.v1"
+_MAGIC_SCHNORR = b"repro.schnorr.v1"
+_MAGIC_OPENING = b"repro.opening.v1"
+
+
+def _scalar(group: Group, value: int) -> bytes:
+    return int_to_bytes(value % group.order, group.scalar_bytes)
+
+
+def _expect_magic(parts: list[bytes], magic: bytes) -> list[bytes]:
+    if not parts or parts[0] != magic:
+        raise EncodingError(f"bad or missing magic (expected {magic!r})")
+    return parts[1:]
+
+
+# Commitments -----------------------------------------------------------------
+
+
+def encode_commitment(commitment: Commitment) -> bytes:
+    return commitment.element.to_bytes()
+
+
+def decode_commitment(group: Group, data: bytes) -> Commitment:
+    return Commitment(group.from_bytes(data))
+
+
+# Bit (Σ-OR) proofs -----------------------------------------------------------
+
+
+def encode_bit_proof(proof: BitProof) -> bytes:
+    group = proof.d0.group
+    return encode_length_prefixed(
+        _MAGIC_BIT,
+        proof.d0.to_bytes(),
+        proof.d1.to_bytes(),
+        _scalar(group, proof.e0),
+        _scalar(group, proof.e1),
+        _scalar(group, proof.v0),
+        _scalar(group, proof.v1),
+    )
+
+
+def decode_bit_proof(group: Group, data: bytes) -> BitProof:
+    parts = _expect_magic(decode_length_prefixed(data), _MAGIC_BIT)
+    if len(parts) != 6:
+        raise EncodingError(f"bit proof needs 6 fields, got {len(parts)}")
+    return BitProof(
+        d0=group.from_bytes(parts[0]),
+        d1=group.from_bytes(parts[1]),
+        e0=int.from_bytes(parts[2], "big"),
+        e1=int.from_bytes(parts[3], "big"),
+        v0=int.from_bytes(parts[4], "big"),
+        v1=int.from_bytes(parts[5], "big"),
+    )
+
+
+# One-hot proofs ---------------------------------------------------------------
+
+
+def encode_one_hot_proof(proof: OneHotProof) -> bytes:
+    group = proof.bit_proofs[0].d0.group
+    return encode_length_prefixed(
+        _MAGIC_ONEHOT,
+        _scalar(group, proof.randomness_sum),
+        *[encode_bit_proof(p) for p in proof.bit_proofs],
+    )
+
+
+def decode_one_hot_proof(group: Group, data: bytes) -> OneHotProof:
+    parts = _expect_magic(decode_length_prefixed(data), _MAGIC_ONEHOT)
+    if len(parts) < 2:
+        raise EncodingError("one-hot proof needs randomness plus >= 1 bit proof")
+    randomness_sum = int.from_bytes(parts[0], "big")
+    bit_proofs = tuple(decode_bit_proof(group, raw) for raw in parts[1:])
+    return OneHotProof(bit_proofs, randomness_sum)
+
+
+# Schnorr proofs ----------------------------------------------------------------
+
+
+def encode_schnorr_proof(proof: SchnorrProof) -> bytes:
+    group = proof.announcement.group
+    return encode_length_prefixed(
+        _MAGIC_SCHNORR,
+        proof.announcement.to_bytes(),
+        _scalar(group, proof.response),
+    )
+
+
+def decode_schnorr_proof(group: Group, data: bytes) -> SchnorrProof:
+    parts = _expect_magic(decode_length_prefixed(data), _MAGIC_SCHNORR)
+    if len(parts) != 2:
+        raise EncodingError("schnorr proof needs 2 fields")
+    return SchnorrProof(
+        announcement=group.from_bytes(parts[0]),
+        response=int.from_bytes(parts[1], "big"),
+    )
+
+
+# Opening proofs -----------------------------------------------------------------
+
+
+def encode_opening_proof(proof: OpeningProof) -> bytes:
+    group = proof.announcement.group
+    return encode_length_prefixed(
+        _MAGIC_OPENING,
+        proof.announcement.to_bytes(),
+        _scalar(group, proof.response_value),
+        _scalar(group, proof.response_randomness),
+    )
+
+
+def decode_opening_proof(group: Group, data: bytes) -> OpeningProof:
+    parts = _expect_magic(decode_length_prefixed(data), _MAGIC_OPENING)
+    if len(parts) != 3:
+        raise EncodingError("opening proof needs 3 fields")
+    return OpeningProof(
+        announcement=group.from_bytes(parts[0]),
+        response_value=int.from_bytes(parts[1], "big"),
+        response_randomness=int.from_bytes(parts[2], "big"),
+    )

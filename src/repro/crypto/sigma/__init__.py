@@ -1,0 +1,64 @@
+"""Σ-protocols over Pedersen commitments.
+
+The paper verifies two things in zero knowledge with Σ-protocols:
+
+* :mod:`repro.crypto.sigma.or_bit` — the Cramer–Damgård–Schoenmakers OR
+  proof (Appendix C, Figures 5/6) that a commitment opens to 0 or 1.  This
+  instantiates the oracle ``O_OR`` used on Lines 3 and 5–6 of ΠBin and is
+  the protocol's main computational bottleneck (Section 6).
+* :mod:`repro.crypto.sigma.onehot` — the M-dimensional extension: each
+  coordinate is a bit and the coordinates sum to one (Appendix C, final
+  paragraph), used for client validation in MPC-DP histograms (Figure 4).
+
+Supporting protocols (:mod:`schnorr_pok`, :mod:`opening_pok`,
+:mod:`equality`) and batch verification (:mod:`batch`) round out the
+toolbox.  All proofs are made non-interactive with the Fiat–Shamir
+transform over :class:`repro.crypto.fiat_shamir.Transcript`; the
+interactive 3-move forms are also exposed because the test-suite exercises
+special soundness (extractors) and honest-verifier zero-knowledge
+(simulators) directly.
+"""
+
+from repro.crypto.sigma.schnorr_pok import SchnorrProof, prove_dlog, verify_dlog
+from repro.crypto.sigma.opening_pok import OpeningProof, prove_opening, verify_opening
+from repro.crypto.sigma.or_bit import (
+    BitProof,
+    prove_bit,
+    verify_bit,
+    prove_bits,
+    verify_bits,
+    simulate_bit_transcript,
+)
+from repro.crypto.sigma.onehot import OneHotProof, prove_one_hot, verify_one_hot
+from repro.crypto.sigma.equality import EqualityProof, prove_equal, verify_equal
+from repro.crypto.sigma.batch import batch_verify_bits
+from repro.crypto.sigma.interactive import (
+    InteractiveBitProver,
+    InteractiveBitVerifier,
+    run_interactive_bit_proof,
+)
+
+__all__ = [
+    "SchnorrProof",
+    "prove_dlog",
+    "verify_dlog",
+    "OpeningProof",
+    "prove_opening",
+    "verify_opening",
+    "BitProof",
+    "prove_bit",
+    "verify_bit",
+    "prove_bits",
+    "verify_bits",
+    "simulate_bit_transcript",
+    "OneHotProof",
+    "prove_one_hot",
+    "verify_one_hot",
+    "EqualityProof",
+    "prove_equal",
+    "verify_equal",
+    "batch_verify_bits",
+    "InteractiveBitProver",
+    "InteractiveBitVerifier",
+    "run_interactive_bit_proof",
+]

@@ -1,0 +1,81 @@
+"""Batch verification of Σ-OR bit proofs.
+
+Verifying nb bit proofs one at a time costs 6·nb exponentiations (Table 1's
+Σ-verification column).  Because every individual check is a product
+equation in the group, a verifier can instead check one random linear
+combination:
+
+    Π_i [ d₀ᵢ · c_i^{e₀ᵢ} · h^{-v₀ᵢ} ]^{γᵢ}  ·  Π_i [ d₁ᵢ · (cᵢ/g)^{e₁ᵢ} · h^{-v₁ᵢ} ]^{γ'ᵢ}  ==  1
+
+for uniform 128-bit γᵢ, γ'ᵢ.  If any single equation fails, the combined
+equation holds with probability at most 2⁻¹²⁸ over the γ's.  The combined
+product is one big multi-exponentiation, which
+:func:`repro.crypto.multiexp.multi_exponentiation` evaluates with shared
+squarings — an ablation benchmark (`benchmarks/bench_ablation_batching.py`)
+quantifies the speedup over naive verification.
+
+Note the e₀+e₁ == e split *must still be checked per proof* (it binds the
+simulated branch to the Fiat–Shamir challenge); that part is cheap field
+arithmetic.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.fiat_shamir import Transcript
+from repro.crypto.pedersen import Commitment, PedersenParams
+from repro.crypto.sigma.or_bit import BitProof, _bind, _challenge
+from repro.errors import ProofRejected
+from repro.utils.rng import RNG, default_rng
+
+__all__ = ["batch_verify_bits"]
+
+_GAMMA_BITS = 128
+
+
+def batch_verify_bits(
+    params: PedersenParams,
+    commitments: list[Commitment],
+    proofs: list[BitProof],
+    transcript: Transcript,
+    rng: RNG | None = None,
+) -> None:
+    """Verify many bit proofs with one multi-exponentiation.
+
+    Transcript evolution is identical to :func:`verify_bits`, so a batch
+    verifier and a sequential verifier accept exactly the same proofs
+    (up to the 2^-128 soundness slack of the random combination).
+    Raises :class:`ProofRejected` if the batch fails.
+    """
+    if len(commitments) != len(proofs):
+        raise ProofRejected("number of proofs does not match number of commitments")
+    rng = default_rng(rng)
+    q = params.q
+
+    bases = []
+    exponents = []
+    for commitment, proof in zip(commitments, proofs):
+        _bind(transcript, params, commitment)
+        transcript.append_element("d0", proof.d0)
+        transcript.append_element("d1", proof.d1)
+        e = _challenge(transcript, params)
+        if (proof.e0 + proof.e1) % q != e:
+            raise ProofRejected("challenge split e0 + e1 != e")
+
+        t0 = commitment.element
+        t1 = commitment.element / params.g
+        gamma0 = rng.randbits(_GAMMA_BITS)
+        gamma1 = rng.randbits(_GAMMA_BITS)
+        # branch 0: d0 * t0^e0 * h^-v0 == 1, weighted by gamma0
+        bases.extend([proof.d0, t0, params.h])
+        exponents.extend(
+            [gamma0, (gamma0 * proof.e0) % q, (-gamma0 * proof.v0) % q]
+        )
+        # branch 1: d1 * t1^e1 * h^-v1 == 1, weighted by gamma1
+        bases.extend([proof.d1, t1, params.h])
+        exponents.extend(
+            [gamma1, (gamma1 * proof.e1) % q, (-gamma1 * proof.v1) % q]
+        )
+
+    combined = params.group.multi_scale(bases, exponents)
+    if not combined.is_identity():
+        raise ProofRejected("batched OR-proof verification failed")

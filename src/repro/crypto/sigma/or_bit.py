@@ -1,0 +1,232 @@
+"""The Σ-OR proof that a Pedersen commitment opens to a bit.
+
+This is the oracle ``O_OR`` of Section 2.2 / Appendix C (Figures 5 and 6):
+given c = Com(x, r), prove in zero knowledge that
+
+    c ∈ L_Bit = { c : x ∈ {0, 1} ∧ c = Com(x, r) }
+
+without revealing which of 0/1.  Construction: Cramer–Damgård–Schoenmakers
+(CDS94) disjunction of two Schnorr proofs with base ``h``:
+
+* branch 0 asserts ∃r.  c      = h^r   (i.e. x = 0),
+* branch 1 asserts ∃r.  c·g⁻¹  = h^r   (i.e. x = 1).
+
+The prover runs the real Schnorr prover on the true branch and the HVZK
+simulator on the false branch, splitting the challenge e = e₀ + e₁ so that
+one sub-challenge is free (simulated) and the other is forced.  The
+verifier's equations — identical to the last line of Figures 5/6 —
+
+    h^{v₀} == d₀ · c^{e₀}          and      h^{v₁} == d₁ · (c/g)^{e₁}
+    (equivalently  d₁ · c^{e₁} == g^{e₁} · h^{v₁})
+
+hold for exactly one honest branch and one simulated branch, and the two
+transcripts are identically distributed, so the verifier cannot tell which
+branch was real.
+
+Note on the paper's figures: Figure 5 ("without revealing that x = 1")
+and Figure 6 ("without revealing that x = 0") transpose which branch is
+simulated relative to the witness; the construction implemented here is
+the standard CDS94 disjunction whose verification equations match the
+figures' final line.  Completeness for both witness values is covered by
+``tests/crypto/test_or_bit.py``.
+
+This proof dominates the cost of ΠBin (Table 1: the Σ-proof and
+Σ-verification columns), so the module also provides the vectorized
+:func:`prove_bits` / :func:`verify_bits` used for the nb private coins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.fiat_shamir import Transcript
+from repro.crypto.group import GroupElement
+from repro.crypto.pedersen import Commitment, Opening, PedersenParams
+from repro.errors import ParameterError, ProofRejected
+from repro.utils.rng import RNG, default_rng
+
+__all__ = [
+    "BitProof",
+    "prove_bit",
+    "verify_bit",
+    "prove_bits",
+    "verify_bits",
+    "simulate_bit_transcript",
+    "branch_statements",
+]
+
+
+@dataclass(frozen=True)
+class BitProof:
+    """A CDS94 OR proof (d₀, d₁, e₀, e₁, v₀, v₁).
+
+    Only one sub-challenge is serialized conceptually (e₁ = e - e₀), but we
+    carry both for clarity; verification recomputes and checks the split.
+    """
+
+    d0: GroupElement
+    d1: GroupElement
+    e0: int
+    e1: int
+    v0: int
+    v1: int
+
+
+def branch_statements(params: PedersenParams, commitment: Commitment) -> tuple[GroupElement, GroupElement]:
+    """(T₀, T₁) = (c, c/g): h-discrete-log statements for the two branches."""
+    return commitment.element, commitment.element / params.g
+
+
+def _bind(transcript: Transcript, params: PedersenParams, commitment: Commitment) -> None:
+    transcript.append_bytes("pp", params.transcript_bytes())
+    transcript.append_element("bit-commitment", commitment.element)
+
+
+def _challenge(transcript: Transcript, params: PedersenParams) -> int:
+    return transcript.challenge_scalar("or-challenge", params.q)
+
+
+def _prove_with_challenge(
+    params: PedersenParams,
+    commitment: Commitment,
+    opening: Opening,
+    challenge_of: "callable",
+    rng: RNG,
+) -> BitProof:
+    """Shared body of interactive and FS proving.
+
+    ``challenge_of(d0, d1)`` supplies the challenge after the announcements
+    are fixed (either from the transcript hash or from a live verifier).
+    """
+    q = params.q
+    bit = opening.value % q
+    if bit not in (0, 1):
+        raise ParameterError(f"witness value {bit} is not a bit; L_Bit requires 0 or 1")
+    if not params.opens_to(commitment, opening):
+        raise ParameterError("opening does not match commitment")
+
+    t0, t1 = branch_statements(params, commitment)
+    real, sim = (0, 1) if bit == 0 else (1, 0)
+    targets = (t0, t1)
+
+    # Simulated branch: sample (e_sim, v_sim), derive announcement.
+    e_sim = rng.field_element(q)
+    v_sim = rng.field_element(q)
+    d_sim = (params.h ** v_sim) * (targets[sim] ** ((-e_sim) % q))
+
+    # Real branch: honest Schnorr announcement.
+    b = rng.field_element(q)
+    d_real = params.h ** b
+
+    d0, d1 = (d_real, d_sim) if real == 0 else (d_sim, d_real)
+    e = challenge_of(d0, d1)
+    e_real = (e - e_sim) % q
+    v_real = (b + e_real * opening.randomness) % q
+
+    if real == 0:
+        return BitProof(d0, d1, e_real, e_sim, v_real, v_sim)
+    return BitProof(d0, d1, e_sim, e_real, v_sim, v_real)
+
+
+def prove_bit(
+    params: PedersenParams,
+    commitment: Commitment,
+    opening: Opening,
+    transcript: Transcript,
+    rng: RNG | None = None,
+) -> BitProof:
+    """Non-interactive (Fiat–Shamir) proof that ``commitment`` is to a bit."""
+    rng = default_rng(rng)
+    _bind(transcript, params, commitment)
+
+    def challenge_of(d0: GroupElement, d1: GroupElement) -> int:
+        transcript.append_element("d0", d0)
+        transcript.append_element("d1", d1)
+        return _challenge(transcript, params)
+
+    return _prove_with_challenge(params, commitment, opening, challenge_of, rng)
+
+
+def verify_bit(
+    params: PedersenParams,
+    commitment: Commitment,
+    proof: BitProof,
+    transcript: Transcript,
+) -> None:
+    """Verify a Fiat–Shamir bit proof; raises :class:`ProofRejected`.
+
+    Checks (matching Figures 5/6, line 8–9):
+      e₀ + e₁ == e,  h^{v₀} == d₀·c^{e₀},  h^{v₁} == d₁·(c/g)^{e₁}.
+    """
+    q = params.q
+    _bind(transcript, params, commitment)
+    transcript.append_element("d0", proof.d0)
+    transcript.append_element("d1", proof.d1)
+    e = _challenge(transcript, params)
+    if (proof.e0 + proof.e1) % q != e:
+        raise ProofRejected("challenge split e0 + e1 != e")
+    t0, t1 = branch_statements(params, commitment)
+    if params.h ** proof.v0 != proof.d0 * (t0 ** proof.e0):
+        raise ProofRejected("branch-0 verification equation failed")
+    if params.h ** proof.v1 != proof.d1 * (t1 ** proof.e1):
+        raise ProofRejected("branch-1 verification equation failed")
+
+
+def prove_bits(
+    params: PedersenParams,
+    commitments: list[Commitment],
+    openings: list[Opening],
+    transcript: Transcript,
+    rng: RNG | None = None,
+) -> list[BitProof]:
+    """Prove every commitment in a batch is a bit (one proof each).
+
+    The proofs share one transcript, so each challenge is bound to *all*
+    previous commitments and proofs — parallel composition, as the paper
+    notes both Π_morra and Π_or compose in parallel (footnote 7).
+    """
+    if len(commitments) != len(openings):
+        raise ParameterError("commitments and openings length mismatch")
+    rng = default_rng(rng)
+    return [
+        prove_bit(params, c, o, transcript, rng)
+        for c, o in zip(commitments, openings)
+    ]
+
+
+def verify_bits(
+    params: PedersenParams,
+    commitments: list[Commitment],
+    proofs: list[BitProof],
+    transcript: Transcript,
+) -> None:
+    """Verify a batch produced by :func:`prove_bits` (same transcript order)."""
+    if len(commitments) != len(proofs):
+        raise ProofRejected("number of proofs does not match number of commitments")
+    for commitment, proof in zip(commitments, proofs):
+        verify_bit(params, commitment, proof, transcript)
+
+
+def simulate_bit_transcript(
+    params: PedersenParams,
+    commitment: Commitment,
+    challenge: int,
+    rng: RNG | None = None,
+) -> BitProof:
+    """HVZK simulator: an accepting OR transcript for a *given* challenge.
+
+    Requires no witness at all — both branches are simulated, splitting the
+    challenge uniformly.  Together with :func:`prove_bit` this demonstrates
+    the zero-knowledge property: for a commitment to a genuine bit the
+    simulated and real transcripts are identically distributed.
+    """
+    rng = default_rng(rng)
+    q = params.q
+    t0, t1 = branch_statements(params, commitment)
+    e0 = rng.field_element(q)
+    e1 = (challenge - e0) % q
+    v0 = rng.field_element(q)
+    v1 = rng.field_element(q)
+    d0 = (params.h ** v0) * (t0 ** ((-e0) % q))
+    d1 = (params.h ** v1) * (t1 ** ((-e1) % q))
+    return BitProof(d0, d1, e0, e1, v0, v1)

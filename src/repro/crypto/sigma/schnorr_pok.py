@@ -1,0 +1,144 @@
+"""Schnorr proof of knowledge of a discrete logarithm.
+
+PoK{ (w) : y = base^w } — the atomic Σ-protocol from which the OR proof is
+composed.  Three moves:
+
+    Pv:  a = base^s            for fresh s ← Z_q      (announcement)
+    Vfr: e ← Z_q                                       (challenge)
+    Pv:  z = s + e·w mod q                             (response)
+
+accept iff  base^z == a · y^e.
+
+Exposed in both interactive pieces (:func:`announce`, :func:`respond`,
+:func:`check`) and Fiat–Shamir form (:func:`prove_dlog`,
+:func:`verify_dlog`).  :func:`extract_witness` implements special
+soundness — two accepting transcripts with the same announcement and
+different challenges yield the witness — which the tests use to show the
+protocol is a *proof of knowledge*, and :func:`simulate` implements the
+honest-verifier zero-knowledge simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.fiat_shamir import Transcript
+from repro.crypto.group import Group, GroupElement
+from repro.errors import ProofRejected, ParameterError
+from repro.utils.numth import inverse_mod
+from repro.utils.rng import RNG, default_rng
+
+__all__ = [
+    "SchnorrProof",
+    "announce",
+    "respond",
+    "check",
+    "prove_dlog",
+    "verify_dlog",
+    "simulate",
+    "extract_witness",
+]
+
+
+@dataclass(frozen=True)
+class SchnorrProof:
+    """Non-interactive Schnorr proof (announcement, response)."""
+
+    announcement: GroupElement
+    response: int
+
+
+def announce(group: Group, base: GroupElement, rng: RNG | None = None) -> tuple[GroupElement, int]:
+    """First move: (a, s) with a = base^s."""
+    s = group.random_scalar(default_rng(rng))
+    return base ** s, s
+
+
+def respond(group: Group, nonce: int, witness: int, challenge: int) -> int:
+    """Third move: z = s + e*w mod q."""
+    return (nonce + challenge * witness) % group.order
+
+
+def check(
+    group: Group,
+    base: GroupElement,
+    statement: GroupElement,
+    announcement: GroupElement,
+    challenge: int,
+    response: int,
+) -> bool:
+    """Verification equation base^z == a * y^e."""
+    return base ** response == announcement * (statement ** challenge)
+
+
+def _bind(transcript: Transcript, base: GroupElement, statement: GroupElement) -> None:
+    transcript.append_element("base", base)
+    transcript.append_element("statement", statement)
+
+
+def prove_dlog(
+    group: Group,
+    base: GroupElement,
+    statement: GroupElement,
+    witness: int,
+    transcript: Transcript,
+    rng: RNG | None = None,
+) -> SchnorrProof:
+    """Fiat–Shamir proof of knowledge of w with statement = base^w."""
+    if base ** witness != statement:
+        raise ParameterError("witness does not satisfy the statement")
+    a, s = announce(group, base, rng)
+    _bind(transcript, base, statement)
+    transcript.append_element("announcement", a)
+    e = transcript.challenge_scalar("challenge", group.order)
+    return SchnorrProof(a, respond(group, s, witness, e))
+
+
+def verify_dlog(
+    group: Group,
+    base: GroupElement,
+    statement: GroupElement,
+    proof: SchnorrProof,
+    transcript: Transcript,
+) -> None:
+    """Verify a Fiat–Shamir Schnorr proof; raises :class:`ProofRejected`."""
+    _bind(transcript, base, statement)
+    transcript.append_element("announcement", proof.announcement)
+    e = transcript.challenge_scalar("challenge", group.order)
+    if not check(group, base, statement, proof.announcement, e, proof.response):
+        raise ProofRejected("Schnorr verification equation failed")
+
+
+def simulate(
+    group: Group,
+    base: GroupElement,
+    statement: GroupElement,
+    challenge: int,
+    rng: RNG | None = None,
+) -> tuple[GroupElement, int]:
+    """HVZK simulator: an accepting (a, z) for a *given* challenge.
+
+    Samples z uniformly and solves for a = base^z * statement^-e; the
+    output distribution matches honest transcripts exactly (perfect HVZK).
+    """
+    z = group.random_scalar(default_rng(rng))
+    a = (base ** z) * (statement ** ((-challenge) % group.order))
+    return a, z
+
+
+def extract_witness(
+    group: Group,
+    challenge1: int,
+    response1: int,
+    challenge2: int,
+    response2: int,
+) -> int:
+    """Special soundness: witness from two accepting transcripts sharing a.
+
+    w = (z1 - z2) / (e1 - e2) mod q.
+    """
+    if challenge1 % group.order == challenge2 % group.order:
+        raise ParameterError("challenges must differ for extraction")
+    num = (response1 - response2) % group.order
+    den = inverse_mod((challenge1 - challenge2) % group.order, group.order)
+    return (num * den) % group.order

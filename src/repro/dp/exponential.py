@@ -1,0 +1,93 @@
+"""The exponential mechanism and report-noisy-max (Section 7 context).
+
+McSherry–Talwar's exponential mechanism selects the (approximately) most
+frequent histogram bucket under pure ε-DP; Ding et al. showed
+permute-and-flip ≡ report-noisy-max with exponential noise.  The paper
+cites these as the classical central-model selection mechanisms — and its
+concluding remarks explain why *verifiable* variants are open: "the
+distribution itself leaks information about the private data".
+
+Included as baselines for the election/argmax workloads: the examples
+compare ΠBin's noisy-argmax (add verifiable Binomial noise per bin, take
+the max) with these unverifiable-but-optimal selectors.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.dp.laplace import sample_laplace
+from repro.errors import ParameterError
+from repro.utils.rng import RNG, default_rng
+
+__all__ = ["ExponentialMechanism", "report_noisy_max"]
+
+
+@dataclass
+class ExponentialMechanism:
+    """ε-DP selection: Pr[output r] ∝ exp(ε·u(r) / (2·Δu)).
+
+    For histogram argmax the utility of bucket r is its count and
+    Δu = 1 (one client moves one bucket's count by one).
+    """
+
+    epsilon: float
+    sensitivity: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.epsilon <= 0:
+            raise ParameterError("epsilon must be positive")
+        if self.sensitivity <= 0:
+            raise ParameterError("sensitivity must be positive")
+
+    def select(self, utilities: Sequence[float], rng: RNG | None = None) -> int:
+        """Sample an index with probability ∝ exp(ε·u/(2Δ))."""
+        if not utilities:
+            raise ParameterError("no candidates")
+        rng = default_rng(rng)
+        scale = self.epsilon / (2.0 * self.sensitivity)
+        # Stabilize: subtract the max before exponentiating.
+        top = max(utilities)
+        weights = [math.exp(scale * (u - top)) for u in utilities]
+        total = sum(weights)
+        threshold = (rng.randbits(53) / float(1 << 53)) * total
+        acc = 0.0
+        for index, weight in enumerate(weights):
+            acc += weight
+            if threshold < acc:
+                return index
+        return len(utilities) - 1  # pragma: no cover - float edge
+
+    def selection_probabilities(self, utilities: Sequence[float]) -> list[float]:
+        """Exact output distribution (for tests and analysis)."""
+        if not utilities:
+            raise ParameterError("no candidates")
+        scale = self.epsilon / (2.0 * self.sensitivity)
+        top = max(utilities)
+        weights = [math.exp(scale * (u - top)) for u in utilities]
+        total = sum(weights)
+        return [w / total for w in weights]
+
+
+def report_noisy_max(
+    counts: Sequence[float],
+    epsilon: float,
+    rng: RNG | None = None,
+    *,
+    sensitivity: float = 1.0,
+) -> int:
+    """ε-DP argmax: add Laplace(2Δ/ε) to every count, return the argmax.
+
+    Classical guarantee via the one-sided analysis; equivalent in utility
+    class to the exponential mechanism for selection tasks.
+    """
+    if not counts:
+        raise ParameterError("no candidates")
+    if epsilon <= 0:
+        raise ParameterError("epsilon must be positive")
+    rng = default_rng(rng)
+    scale = 2.0 * sensitivity / epsilon
+    noisy = [c + sample_laplace(scale, rng) for c in counts]
+    return max(range(len(noisy)), key=noisy.__getitem__)

@@ -1,0 +1,60 @@
+"""The (analytic-constant) Gaussian mechanism.
+
+Adds N(0, σ²) noise with σ = sensitivity·sqrt(2·ln(1.25/δ))/ε — the
+classical calibration giving (ε, δ)-DP for ε <= 1.  Another central-model
+baseline for the error experiments; like Laplace, no verifiable variant is
+known (Concluding Remarks).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.dp.mechanism import Mechanism, MechanismOutput
+from repro.errors import ParameterError
+from repro.utils.rng import RNG, default_rng
+
+__all__ = ["GaussianMechanism", "sample_gaussian"]
+
+_UNIFORM_BITS = 53
+
+
+def sample_gaussian(sigma: float, rng: RNG | None = None) -> float:
+    """N(0, sigma^2) via Box–Muller on RNG-provided uniforms."""
+    if sigma <= 0:
+        raise ParameterError("sigma must be positive")
+    rng = default_rng(rng)
+    while True:
+        u1 = rng.randbits(_UNIFORM_BITS) / float(1 << _UNIFORM_BITS)
+        if u1 > 0.0:
+            break
+    u2 = rng.randbits(_UNIFORM_BITS) / float(1 << _UNIFORM_BITS)
+    return sigma * math.sqrt(-2.0 * math.log(u1)) * math.cos(2.0 * math.pi * u2)
+
+
+@dataclass
+class GaussianMechanism(Mechanism):
+    """(ε, δ)-DP mechanism adding calibrated Gaussian noise."""
+
+    epsilon: float
+    delta: float
+    sensitivity: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0 < self.epsilon <= 1:
+            raise ParameterError("classical Gaussian calibration needs 0 < ε <= 1")
+        if not 0 < self.delta < 1:
+            raise ParameterError("delta must be in (0, 1)")
+
+    @property
+    def sigma(self) -> float:
+        return self.sensitivity * math.sqrt(2.0 * math.log(1.25 / self.delta)) / self.epsilon
+
+    def release(self, true_value: float, rng: RNG | None = None) -> MechanismOutput:
+        noise = sample_gaussian(self.sigma, rng)
+        return MechanismOutput(true_value + noise, noise)
+
+    def expected_error(self) -> float:
+        """E|N(0, σ²)| = σ·sqrt(2/π)."""
+        return self.sigma * math.sqrt(2.0 / math.pi)

@@ -1,0 +1,81 @@
+"""Mechanism interface and DP-Error (Definition 6).
+
+A mechanism maps a dataset and query to a randomized output; its expected
+L1 error relative to the true query answer is
+
+    Err_{M,Q} = E[ ||Q(X) - M(X, Q)|| ]                    (Definition 6)
+
+For counting queries, central-model mechanisms (Binomial, Laplace) achieve
+Err = O(1/ε) independent of n, while local randomized response pays
+Err = O(√n) — the separation quoted in Sections 2.2 and 7 and reproduced
+by ``benchmarks/bench_error_vs_epsilon.py``.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.errors import ParameterError
+from repro.utils.rng import RNG, default_rng
+
+__all__ = ["Mechanism", "MechanismOutput", "counting_query", "dp_error"]
+
+
+def counting_query(dataset: Sequence[int]) -> int:
+    """Q(X) = Σ x_i — the paper's core query (1-incremental, sensitivity 1)."""
+    return sum(dataset)
+
+
+@dataclass(frozen=True)
+class MechanismOutput:
+    """A released value together with the noise that produced it.
+
+    ``noise`` is retained for analysis/testing only; a real deployment
+    never reveals it (revealing DP noise obviates it — the whole point of
+    the paper is verifying noise *without* revealing it).
+    """
+
+    value: float
+    noise: float
+
+
+class Mechanism(abc.ABC):
+    """An (ε, δ)-DP mechanism for real-valued queries."""
+
+    epsilon: float
+    delta: float
+
+    @abc.abstractmethod
+    def release(self, true_value: float, rng: RNG | None = None) -> MechanismOutput:
+        """Release a noisy version of ``true_value``."""
+
+    def release_vector(
+        self, true_values: Sequence[float], rng: RNG | None = None
+    ) -> list[MechanismOutput]:
+        """Independent coordinate-wise release (M-bin histograms)."""
+        rng = default_rng(rng)
+        return [self.release(v, rng) for v in true_values]
+
+    def expected_error(self) -> float:
+        """Analytic E|noise| when known; subclasses override."""
+        raise NotImplementedError
+
+
+def dp_error(
+    mechanism: Mechanism,
+    true_value: float,
+    trials: int,
+    rng: RNG | None = None,
+    norm: Callable[[float], float] = abs,
+) -> float:
+    """Monte-Carlo estimate of Err (Definition 6) for a scalar query."""
+    if trials < 1:
+        raise ParameterError("need at least one trial")
+    rng = default_rng(rng)
+    total = 0.0
+    for _ in range(trials):
+        out = mechanism.release(true_value, rng)
+        total += norm(out.value - true_value)
+    return total / trials

@@ -1,0 +1,45 @@
+"""Multi-party protocol substrate.
+
+Provides the simulated network the protocols run over, the Morra
+commit-reveal coin-flipping protocol (Algorithm 1) that realizes the
+public-randomness oracle ``O_morra``, and the adversary framework for
+active (arbitrarily deviating) participants.
+"""
+
+from repro.mpc.bus import SimulatedNetwork, Envelope
+from repro.mpc.party import Party
+from repro.mpc.commit import HashCommitmentScheme, HashCommitment
+from repro.mpc.pedersen_morra import PedersenMorraScheme
+from repro.mpc.morra import (
+    MorraParticipant,
+    run_morra,
+    run_morra_batch,
+    morra_bits,
+    morra_scalar,
+)
+from repro.mpc.adversary import (
+    HonestMorraParticipant,
+    BiasedMorraParticipant,
+    EquivocatingMorraParticipant,
+    AbortingMorraParticipant,
+    StuckMorraParticipant,
+)
+
+__all__ = [
+    "SimulatedNetwork",
+    "Envelope",
+    "Party",
+    "HashCommitmentScheme",
+    "HashCommitment",
+    "PedersenMorraScheme",
+    "MorraParticipant",
+    "run_morra",
+    "run_morra_batch",
+    "morra_bits",
+    "morra_scalar",
+    "HonestMorraParticipant",
+    "BiasedMorraParticipant",
+    "EquivocatingMorraParticipant",
+    "AbortingMorraParticipant",
+    "StuckMorraParticipant",
+]

@@ -1,0 +1,76 @@
+"""Actively corrupted Morra participants.
+
+The paper's security model allows participants to "deviate from protocol
+specifications arbitrarily".  These subclasses implement the canonical
+deviations; the test-suite asserts each is either harmless (bias — the
+output stays uniform while one party is honest) or detected (equivocation,
+silence — :class:`ProtocolAbort`/:class:`EarlyExit`).
+"""
+
+from __future__ import annotations
+
+from repro.mpc.morra import MorraParticipant
+
+__all__ = [
+    "HonestMorraParticipant",
+    "BiasedMorraParticipant",
+    "EquivocatingMorraParticipant",
+    "AbortingMorraParticipant",
+    "StuckMorraParticipant",
+]
+
+
+class HonestMorraParticipant(MorraParticipant):
+    """Alias making intent explicit in experiment scripts."""
+
+
+class BiasedMorraParticipant(MorraParticipant):
+    """Always contributes a fixed value instead of a uniform one.
+
+    Harmless: the sum of contributions is still uniform provided at least
+    one other participant sampled honestly (the hiding property prevents
+    this party from correlating with others).
+    """
+
+    def __init__(self, name: str, fixed_value: int = 0, **kwargs) -> None:
+        super().__init__(name, **kwargs)
+        self.fixed_value = fixed_value
+
+    def sample_values(self, q: int, count: int) -> list[int]:
+        return [self.fixed_value % q] * count
+
+
+class EquivocatingMorraParticipant(MorraParticipant):
+    """Tries to change its contribution after seeing others' openings.
+
+    Because it reveals *after* observing later parties in the reverse
+    order, it recomputes the value that would force the batch's first
+    coin toward ``target_bit`` — but the new value no longer matches its
+    commitment, so the binding check aborts the protocol and names it.
+    """
+
+    def __init__(self, name: str, target_bit: int = 1, **kwargs) -> None:
+        super().__init__(name, **kwargs)
+        self.target_bit = target_bit
+
+    def reveal(self, values, randomness, observed):
+        if not observed:
+            # Nobody to adapt to (we reveal first); behave honestly.
+            return values, randomness
+        tweaked = list(values)
+        tweaked[0] = (values[0] + 1)  # any change breaks the opening
+        return tweaked, randomness
+
+
+class AbortingMorraParticipant(MorraParticipant):
+    """Goes silent during the reveal phase (early exit)."""
+
+    def reveal(self, values, randomness, observed):
+        return None
+
+
+class StuckMorraParticipant(MorraParticipant):
+    """Fails to contribute at the sampling step."""
+
+    def sample_values(self, q: int, count: int):
+        return None

@@ -1,0 +1,25 @@
+"""Base class for protocol participants."""
+
+from __future__ import annotations
+
+from repro.utils.rng import RNG, SystemRNG
+
+__all__ = ["Party"]
+
+
+class Party:
+    """A named participant with its own randomness tape.
+
+    The paper models participants as "next-message-computing-algorithms"
+    with an input tape and internal randomness ⃗r (Section 3.1); subclasses
+    implement the per-protocol message functions.  Giving every party its
+    own RNG keeps simulated runs reproducible per party and lets tests
+    corrupt one party's randomness without touching others.
+    """
+
+    def __init__(self, name: str, rng: RNG | None = None) -> None:
+        self.name = name
+        self.rng = rng if rng is not None else SystemRNG()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{type(self).__name__} {self.name!r}>"

@@ -1,0 +1,80 @@
+"""Shamir (t-out-of-n) secret sharing over Z_q.
+
+Included because the paper notes (footnote 4) that "any linear secret
+sharing such as Shamir's secret sharing also applies to all our results";
+the protocol layer accepts either scheme.  Shares are points on a random
+degree-(t-1) polynomial with f(0) = secret; reconstruction is Lagrange
+interpolation at zero.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ParameterError
+from repro.utils.numth import inverse_mod
+from repro.utils.rng import RNG, default_rng
+
+__all__ = ["ShamirShare", "ShamirSharing"]
+
+
+@dataclass(frozen=True)
+class ShamirShare:
+    """A point (index, value) on the sharing polynomial; index >= 1."""
+
+    index: int
+    value: int
+
+
+@dataclass(frozen=True)
+class ShamirSharing:
+    """Parameters of a t-out-of-n Shamir scheme over Z_q."""
+
+    threshold: int
+    parties: int
+    q: int
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.threshold <= self.parties:
+            raise ParameterError("need 1 <= threshold <= parties")
+        if self.parties >= self.q:
+            raise ParameterError("field too small for this many parties")
+
+    def share(self, value: int, rng: RNG | None = None) -> list[ShamirShare]:
+        """Evaluate a random polynomial with f(0) = value at x = 1..n."""
+        rng = default_rng(rng)
+        coeffs = [value % self.q] + [
+            rng.field_element(self.q) for _ in range(self.threshold - 1)
+        ]
+        shares = []
+        for x in range(1, self.parties + 1):
+            acc = 0
+            for coeff in reversed(coeffs):
+                acc = (acc * x + coeff) % self.q
+            shares.append(ShamirShare(x, acc))
+        return shares
+
+    def reconstruct(self, shares: list[ShamirShare]) -> int:
+        """Lagrange interpolation at zero from >= threshold shares."""
+        if len({s.index for s in shares}) < self.threshold:
+            raise ParameterError(
+                f"need {self.threshold} distinct shares, got {len(shares)}"
+            )
+        points = shares[: self.threshold]
+        secret = 0
+        for i, si in enumerate(points):
+            num = 1
+            den = 1
+            for j, sj in enumerate(points):
+                if i == j:
+                    continue
+                num = (num * (-sj.index)) % self.q
+                den = (den * (si.index - sj.index)) % self.q
+            secret = (secret + si.value * num * inverse_mod(den, self.q)) % self.q
+        return secret
+
+    def add_shares(self, a: list[ShamirShare], b: list[ShamirShare]) -> list[ShamirShare]:
+        """Linearity: pointwise addition shares the sum."""
+        if len(a) != len(b) or any(x.index != y.index for x, y in zip(a, b)):
+            raise ParameterError("share vectors must align by index")
+        return [ShamirShare(x.index, (x.value + y.value) % self.q) for x, y in zip(a, b)]

@@ -1,0 +1,61 @@
+"""Statistical test helpers."""
+
+import pytest
+
+from repro.analysis.distributions import (
+    binomial_goodness_of_fit,
+    chi_square_uniform,
+    total_variation_from_binomial,
+)
+from repro.dp.binomial import sample_binomial
+from repro.errors import ParameterError
+from repro.utils.rng import SeededRNG
+
+
+class TestChiSquareUniform:
+    def test_fair_bits_pass(self):
+        rng = SeededRNG("fair")
+        bits = [rng.coin() for _ in range(3000)]
+        assert chi_square_uniform(bits) > 0.001
+
+    def test_biased_bits_fail(self):
+        bits = [1] * 900 + [0] * 100
+        assert chi_square_uniform(bits) < 1e-6
+
+    def test_empty_rejected(self):
+        with pytest.raises(ParameterError):
+            chi_square_uniform([])
+
+
+class TestBinomialFit:
+    def test_true_binomial_passes(self):
+        rng = SeededRNG("bin")
+        samples = [sample_binomial(30, rng) for _ in range(400)]
+        assert binomial_goodness_of_fit(samples, 30) > 0.001
+
+    def test_shifted_binomial_fails(self):
+        rng = SeededRNG("shift")
+        samples = [sample_binomial(30, rng) + 6 for _ in range(400)]
+        assert binomial_goodness_of_fit(samples, 30) < 1e-4
+
+    def test_constant_fails(self):
+        assert binomial_goodness_of_fit([15] * 300, 30) < 1e-4
+
+    def test_empty_rejected(self):
+        with pytest.raises(ParameterError):
+            binomial_goodness_of_fit([], 10)
+
+
+class TestTotalVariation:
+    def test_matching_distribution_small_tv(self):
+        rng = SeededRNG("tv")
+        samples = [sample_binomial(20, rng) for _ in range(3000)]
+        assert total_variation_from_binomial(samples, 20) < 0.1
+
+    def test_disjoint_distribution_tv_near_one(self):
+        samples = [100] * 500  # far outside Binomial(20, 1/2) support
+        assert total_variation_from_binomial(samples, 20) > 0.95
+
+    def test_empty_rejected(self):
+        with pytest.raises(ParameterError):
+            total_variation_from_binomial([], 10)

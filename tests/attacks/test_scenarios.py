@@ -1,0 +1,79 @@
+"""The paper's central claim, as executable assertions:
+
+every attack that succeeds silently against the baselines is detected —
+and publicly attributed — by ΠBin.
+"""
+
+import pytest
+
+from repro.attacks import (
+    collusion_attack_on_pibin,
+    collusion_attack_on_prio,
+    exclusion_attack_on_pibin,
+    exclusion_attack_on_prio,
+    noise_biasing_on_curator,
+    noise_biasing_on_pibin,
+)
+from repro.utils.rng import SeededRNG
+
+
+class TestExclusion:
+    def test_prio_attack_succeeds_silently(self):
+        outcome = exclusion_attack_on_prio(rng=SeededRNG("t1"))
+        assert outcome.succeeded
+        assert not outcome.detected
+
+    def test_pibin_detects_and_names(self):
+        outcome = exclusion_attack_on_pibin(rng=SeededRNG("t2"))
+        assert not outcome.succeeded
+        assert outcome.detected
+        assert outcome.culprit == "prover-1"
+
+
+class TestCollusion:
+    def test_prio_admits_illegal_input(self):
+        outcome = collusion_attack_on_prio(rng=SeededRNG("t3"))
+        assert outcome.succeeded
+        assert not outcome.detected
+
+    def test_pibin_rejects_illegal_input(self):
+        outcome = collusion_attack_on_pibin(rng=SeededRNG("t4"))
+        assert not outcome.succeeded
+        assert outcome.detected
+        assert outcome.culprit == "client-evil"
+
+
+class TestNoiseBiasing:
+    def test_curator_bias_statistically_plausible(self):
+        outcome = noise_biasing_on_curator(bias=15.0, rng=SeededRNG("t5"))
+        assert outcome.succeeded
+        assert not outcome.detected  # z-score within plausible noise
+
+    def test_large_bias_would_stand_out(self):
+        """Sanity: an absurd bias does produce an implausible z-score —
+        statistics can catch cartoonish cheating, just not subtle bias."""
+        outcome = noise_biasing_on_curator(bias=1000.0, rng=SeededRNG("t6"))
+        assert outcome.detected
+
+    def test_pibin_catches_any_bias(self):
+        for bias in (1, 15):
+            outcome = noise_biasing_on_pibin(bias=bias, rng=SeededRNG(f"t7-{bias}"))
+            assert not outcome.succeeded
+            assert outcome.detected
+            assert outcome.culprit == "prover-0"
+
+
+class TestContrastTable:
+    def test_paper_narrative_holds(self):
+        """The full 2x3 contrast: baseline attacked ⇒ silent success,
+        ΠBin attacked ⇒ detected failure, across all three attacks."""
+        pairs = [
+            (exclusion_attack_on_prio, exclusion_attack_on_pibin),
+            (collusion_attack_on_prio, collusion_attack_on_pibin),
+            (noise_biasing_on_curator, noise_biasing_on_pibin),
+        ]
+        for i, (baseline, ours) in enumerate(pairs):
+            b = baseline(rng=SeededRNG(f"ct-b{i}"))
+            o = ours(rng=SeededRNG(f"ct-o{i}"))
+            assert b.succeeded and not b.detected
+            assert not o.succeeded and o.detected

@@ -1,0 +1,79 @@
+"""Distributed point functions: correctness, shares, key validation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.dpf import dpf_eval, dpf_eval_full, dpf_gen
+from repro.errors import ParameterError
+from repro.utils.rng import SeededRNG
+
+Q = 2**61 - 1
+
+
+class TestCorrectness:
+    @given(
+        bits=st.integers(min_value=1, max_value=8),
+        data=st.data(),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_point_function(self, bits, data):
+        alpha = data.draw(st.integers(min_value=0, max_value=(1 << bits) - 1))
+        beta = data.draw(st.integers(min_value=0, max_value=Q - 1))
+        k0, k1 = dpf_gen(alpha, beta, bits, Q, SeededRNG(f"{bits}-{alpha}-{beta}"))
+        for x in range(1 << bits):
+            total = (dpf_eval(k0, x) + dpf_eval(k1, x)) % Q
+            assert total == (beta if x == alpha else 0)
+
+    def test_full_eval_matches_pointwise(self):
+        k0, k1 = dpf_gen(11, 5, 5, Q, SeededRNG("full"))
+        f0, f1 = dpf_eval_full(k0), dpf_eval_full(k1)
+        for x in range(32):
+            assert (f0[x] + f1[x]) % Q == (dpf_eval(k0, x) + dpf_eval(k1, x)) % Q
+
+    def test_beta_zero(self):
+        k0, k1 = dpf_gen(3, 0, 4, Q, SeededRNG("z"))
+        assert all((a + b) % Q == 0 for a, b in zip(dpf_eval_full(k0), dpf_eval_full(k1)))
+
+    def test_domain_boundaries(self):
+        k0, k1 = dpf_gen(0, 9, 3, Q, SeededRNG("b0"))
+        assert (dpf_eval(k0, 0) + dpf_eval(k1, 0)) % Q == 9
+        k0, k1 = dpf_gen(7, 9, 3, Q, SeededRNG("b7"))
+        assert (dpf_eval(k0, 7) + dpf_eval(k1, 7)) % Q == 9
+
+
+class TestPrivacyShape:
+    def test_single_key_shares_spread(self):
+        """One key's evaluations should look pseudorandom (no obvious
+        point structure): check the share at alpha is not special."""
+        k0, _ = dpf_gen(5, 1, 4, Q, SeededRNG("priv"))
+        values = dpf_eval_full(k0)
+        assert len(set(values)) == 16  # all distinct w.h.p.
+
+    def test_keys_differ(self):
+        k0, k1 = dpf_gen(2, 3, 4, Q, SeededRNG("kd"))
+        assert k0.root_seed != k1.root_seed
+        assert k0.party == 0 and k1.party == 1
+        assert k0.correction_words == k1.correction_words
+
+
+class TestValidation:
+    def test_alpha_out_of_domain(self):
+        with pytest.raises(ParameterError):
+            dpf_gen(8, 1, 3, Q, SeededRNG("x"))
+
+    def test_domain_bits_range(self):
+        with pytest.raises(ParameterError):
+            dpf_gen(0, 1, 0, Q)
+        with pytest.raises(ParameterError):
+            dpf_gen(0, 1, 41, Q)
+
+    def test_eval_out_of_domain(self):
+        k0, _ = dpf_gen(0, 1, 3, Q, SeededRNG("e"))
+        with pytest.raises(ParameterError):
+            dpf_eval(k0, 8)
+
+    def test_full_eval_cap(self):
+        k0, _ = dpf_gen(0, 1, 10, Q, SeededRNG("cap"))
+        object.__setattr__(k0, "domain_bits", 23)
+        with pytest.raises(ParameterError):
+            dpf_eval_full(k0)

@@ -1,0 +1,102 @@
+"""Poplar-style heavy hitters: discovery, thresholds, DP noise, attacks."""
+
+import pytest
+
+from repro.baselines.poplar import PoplarSystem
+from repro.errors import ParameterError
+from repro.utils.rng import SeededRNG
+
+Q = 2**61 - 1
+
+
+def build(threshold=3, bits=4, seed="pop", **kwargs):
+    return PoplarSystem(
+        string_bits=bits, q=Q, threshold=threshold, rng=SeededRNG(seed), **kwargs
+    )
+
+
+def encode_all(system, values, seed="cl"):
+    return [
+        system.encode_client(f"c{i}", v, SeededRNG(f"{seed}{i}"))
+        for i, v in enumerate(values)
+    ]
+
+
+class TestHeavyHitters:
+    def test_finds_exactly_heavy_strings(self):
+        system = build()
+        clients = encode_all(system, [5] * 4 + [9] * 3 + [2])
+        hitters = system.heavy_hitters(clients)
+        assert {h.value for h in hitters} == {5, 9}
+
+    def test_counts_exact_without_dp(self):
+        system = build()
+        clients = encode_all(system, [7] * 5)
+        hitters = system.heavy_hitters(clients)
+        assert hitters[0].value == 7 and hitters[0].count == 5.0
+
+    def test_sorted_by_count(self):
+        system = build(threshold=2)
+        clients = encode_all(system, [1] * 5 + [2] * 3 + [3] * 2)
+        hitters = system.heavy_hitters(clients)
+        assert [h.value for h in hitters] == [1, 2, 3]
+
+    def test_no_hitters(self):
+        system = build(threshold=10)
+        clients = encode_all(system, [1, 2, 3])
+        assert system.heavy_hitters(clients) == []
+
+    def test_prefix_pruning_still_finds_deep_values(self):
+        system = build(threshold=2, bits=6)
+        clients = encode_all(system, [63] * 3 + [0] * 2)
+        hitters = system.heavy_hitters(clients)
+        assert {h.value for h in hitters} == {63, 0}
+
+    def test_with_dp_noise(self):
+        """DP-noised counts: heavy string found, count approximately right."""
+        system = build(threshold=5, seed="dp", epsilon=2.0, delta=2**-8)
+        clients = encode_all(system, [5] * 30)
+        hitters = system.heavy_hitters(clients)
+        values = {h.value for h in hitters}
+        assert 5 in values
+        top = next(h for h in hitters if h.value == 5)
+        assert abs(top.count - 30) <= system._nb  # two binomials' deviation bound
+
+
+class TestAttackSurface:
+    def test_corrupt_shift_erases_victim(self):
+        """Figure 1(a) on Poplar: deflating the victim's first-level share
+        prunes the victim's whole prefix subtree — the string held by the
+        victims vanishes silently (no party can attribute the deviation)."""
+        system = build(threshold=3, seed="atk")
+        # Corrupt client c0's contribution at the first prefix level.
+        system.corrupt_shift = {("c0", 1)}
+        clients = encode_all(system, [5, 5, 5])  # exactly at threshold
+        hitters = system.heavy_hitters(clients)
+        assert all(h.value != 5 for h in hitters)  # victims' string suppressed
+
+    def test_corrupt_shift_invisible_in_honest_run_shape(self):
+        """The corrupted run returns a perfectly ordinary result object —
+        contrast with ΠBin where the audit names the cheater."""
+        system = build(threshold=3, seed="atk2")
+        system.corrupt_shift = {("c0", 1)}
+        clients = encode_all(system, [5, 5, 5])
+        hitters = system.heavy_hitters(clients)
+        assert isinstance(hitters, list)  # no exception, no flag, nothing
+
+
+class TestValidation:
+    def test_value_out_of_domain(self):
+        system = build(bits=3)
+        with pytest.raises(ParameterError):
+            system.encode_client("c", 8)
+
+    def test_bits_range(self):
+        with pytest.raises(ParameterError):
+            build(bits=0)
+        with pytest.raises(ParameterError):
+            build(bits=21)
+
+    def test_epsilon_delta_pairing(self):
+        with pytest.raises(ParameterError):
+            PoplarSystem(string_bits=3, q=Q, threshold=1, epsilon=1.0)

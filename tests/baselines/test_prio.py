@@ -1,0 +1,106 @@
+"""PRIO-style system: aggregation correctness and (faithful) vulnerabilities."""
+
+import pytest
+
+from repro.baselines.prio import CorruptPrioServer, PrioSystem
+from repro.core.client import encode_choice
+from repro.errors import ParameterError
+from repro.utils.rng import SeededRNG
+
+Q = 2**127 - 1
+
+
+def build_system(dimension=3, seed="prio", epsilon=1.0):
+    return PrioSystem(dimension, Q, epsilon, 2**-10, rng=SeededRNG(seed))
+
+
+def submissions_for(system, choices, dimension):
+    return [
+        system.submit(f"c{i}", encode_choice(ch, dimension), SeededRNG(f"s{i}"))
+        for i, ch in enumerate(choices)
+    ]
+
+
+class TestHonestOperation:
+    def test_estimates_near_truth(self):
+        system = build_system(seed="est")
+        choices = [0] * 20 + [1] * 10 + [2] * 5
+        result = system.run(submissions_for(system, choices, 3))
+        assert len(result.accepted_clients) == 35
+        true = [20, 10, 5]
+        bound = system.nb  # |noise - mean| <= nb for 2 binomials
+        for m in range(3):
+            assert abs(result.estimates[m] - true[m]) <= bound
+
+    def test_all_honest_clients_accepted(self):
+        system = build_system(seed="acc")
+        result = system.run(submissions_for(system, [0, 1, 2, 0], 3))
+        assert len(result.accepted_clients) == 4
+
+    def test_malformed_client_rejected_by_honest_servers(self):
+        system = build_system(seed="mal")
+        subs = submissions_for(system, [0, 1], 3)
+        bad_packages = system.sketch.client_prepare([1, 1, 0], SeededRNG("bad"))
+        from repro.baselines.prio import PrioClientSubmission
+
+        subs.append(PrioClientSubmission("evil", bad_packages))
+        result = system.run(subs)
+        assert "evil" not in result.accepted_clients
+
+    def test_server_index_validation(self):
+        system = build_system()
+        with pytest.raises(ParameterError):
+            PrioSystem(
+                2, Q, 1.0, 2**-10,
+                servers=(system.servers[1], system.servers[0]),
+            )
+
+
+class TestCorruptions:
+    def test_drop_attack_silent(self):
+        """Figure 1(a): the victim fails 'validation'; no alarm anywhere."""
+        system = build_system(seed="drop")
+        corrupt = CorruptPrioServer(
+            "server-1", 1, system.sketch, system.nb,
+            rng=SeededRNG("c"), drop_clients=frozenset({"c0"}),
+        )
+        system.servers = (system.servers[0], corrupt)
+        result = system.run(submissions_for(system, [0, 1, 2], 3))
+        assert "c0" not in result.accepted_clients
+        assert "c1" in result.accepted_clients
+
+    def test_collusion_admits_illegal_input(self):
+        """Figure 1(b): with the client's leaked package, the corrupted
+        server forces acceptance of a 3-votes-in-one-bin input."""
+        system = build_system(seed="coll")
+        packages = system.sketch.client_prepare([3, 0, 0], SeededRNG("ev"))
+        corrupt = CorruptPrioServer(
+            "server-1", 1, system.sketch, system.nb,
+            rng=SeededRNG("c"), collude_with={"evil": (packages[0], 0)},
+        )
+        system.servers = (system.servers[0], corrupt)
+        subs = submissions_for(system, [0, 1], 3)
+        from repro.baselines.prio import PrioClientSubmission
+
+        subs.append(PrioClientSubmission("evil", packages))
+        result = system.run(subs)
+        assert "evil" in result.accepted_clients
+
+    def test_noise_bias_undetectable_in_interface(self):
+        """The biased partial aggregate is just another field element —
+        nothing in the result distinguishes it."""
+        bias = 7
+        honest = build_system(seed="nb")
+        subs = submissions_for(honest, [0, 0, 1], 2 if False else 3)
+        clean = honest.run(subs)
+
+        biased_system = build_system(seed="nb")
+        corrupt = CorruptPrioServer(
+            "server-1", 1, biased_system.sketch, biased_system.nb,
+            rng=SeededRNG("c"), noise_bias=bias,
+        )
+        biased_system.servers = (biased_system.servers[0], corrupt)
+        subs2 = submissions_for(biased_system, [0, 0, 1], 3)
+        shifted = biased_system.run(subs2)
+        assert len(shifted.accepted_clients) == len(clean.accepted_clients)
+        # Same result type, same accepted set: the analyst cannot tell.

@@ -1,0 +1,64 @@
+"""Shuffle-model baseline: amplification and the corrupted shuffler."""
+
+import pytest
+
+from repro.baselines.shuffle import ShuffleAggregator, amplified_epsilon
+from repro.errors import ParameterError
+from repro.utils.rng import SeededRNG
+
+
+class TestAmplification:
+    def test_amplification_improves_with_n(self):
+        eps0, delta = 0.5, 1e-6
+        small = amplified_epsilon(eps0, 100, delta)
+        large = amplified_epsilon(eps0, 100_000, delta)
+        assert large < small <= eps0
+
+    def test_never_worse_than_local(self):
+        assert amplified_epsilon(0.5, 2, 1e-6) <= 0.5
+
+    def test_sqrt_n_scaling(self):
+        eps0, delta = 0.2, 1e-8
+        a = amplified_epsilon(eps0, 10_000, delta)
+        b = amplified_epsilon(eps0, 1_000_000, delta)
+        assert a / b == pytest.approx(10.0, rel=0.01)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            amplified_epsilon(0.0, 10, 1e-6)
+        with pytest.raises(ParameterError):
+            amplified_epsilon(1.0, 0, 1e-6)
+        with pytest.raises(ParameterError):
+            amplified_epsilon(1.0, 10, 0.0)
+
+
+class TestShuffleAggregator:
+    def test_estimate_near_truth(self):
+        agg = ShuffleAggregator(2.0, 1e-6, rng=SeededRNG("sh"))
+        bits = [1] * 400 + [0] * 600
+        estimates = [agg.run(bits, SeededRNG(f"r{i}"))[0] for i in range(30)]
+        mean = sum(estimates) / len(estimates)
+        assert mean == pytest.approx(400, abs=30)
+
+    def test_reports_central_epsilon(self):
+        agg = ShuffleAggregator(0.5, 1e-6, rng=SeededRNG("ce"))
+        _, central = agg.run([1, 0] * 500, SeededRNG("r"))
+        assert central < 0.5
+
+    def test_corrupt_shuffler_drops_silently(self):
+        """The shuffler discards reports 0..49 (all ones); the estimate
+        shifts and nothing in the output flags it."""
+        bits = [1] * 50 + [0] * 450
+        honest = ShuffleAggregator(3.0, 1e-6, rng=SeededRNG("h"))
+        corrupt = ShuffleAggregator(
+            3.0, 1e-6, rng=SeededRNG("c"), corrupt_drop=frozenset(range(50))
+        )
+        honest_mean = sum(honest.run(bits, SeededRNG(f"h{i}"))[0] for i in range(20)) / 20
+        corrupt_mean = sum(corrupt.run(bits, SeededRNG(f"c{i}"))[0] for i in range(20)) / 20
+        assert honest_mean == pytest.approx(50, abs=12)
+        assert corrupt_mean == pytest.approx(0, abs=12)
+
+    def test_dropping_everything_raises(self):
+        agg = ShuffleAggregator(1.0, 1e-6, corrupt_drop=frozenset(range(3)))
+        with pytest.raises(ParameterError):
+            agg.run([1, 0, 1], SeededRNG("x"))

@@ -1,0 +1,89 @@
+"""The BGI16-style one-hot sketch: completeness and Schwartz–Zippel soundness."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.sketch import OneHotSketch
+from repro.errors import ParameterError
+from repro.utils.rng import SeededRNG
+
+Q = 2**61 - 1
+
+
+def one_hot(m, hot):
+    return [1 if i == hot else 0 for i in range(m)]
+
+
+class TestCompleteness:
+    @given(
+        m=st.integers(min_value=1, max_value=16),
+        data=st.data(),
+    )
+    @settings(max_examples=25)
+    def test_valid_inputs_accepted(self, m, data):
+        hot = data.draw(st.integers(min_value=0, max_value=m - 1))
+        sketch = OneHotSketch(m, Q)
+        packages = sketch.client_prepare(one_hot(m, hot), SeededRNG(f"{m}-{hot}"))
+        assert sketch.validate(packages, b"seed")
+
+    def test_many_seeds(self):
+        sketch = OneHotSketch(4, Q)
+        packages = sketch.client_prepare(one_hot(4, 2), SeededRNG("ms"))
+        for i in range(10):
+            assert sketch.validate(packages, f"seed-{i}".encode())
+
+
+class TestSoundness:
+    @pytest.mark.parametrize(
+        "vector",
+        [
+            [0, 0, 0, 0],
+            [1, 1, 0, 0],
+            [2, 0, 0, 0],
+            [3, 0, 0, 0],
+            [1, 1, 1, 1],
+            [0, 0, 0, 5],
+            [Q - 1, 1, 1, 0],  # -1 + 1 + 1 = 1 but not one-hot
+        ],
+    )
+    def test_invalid_vectors_rejected(self, vector):
+        sketch = OneHotSketch(4, Q)
+        packages = sketch.client_prepare(vector, SeededRNG(str(vector)))
+        assert not sketch.validate(packages, b"seed")
+
+    def test_bad_correlation_rejected(self):
+        """A client lying about B != A² fails the z² reconstruction."""
+        sketch = OneHotSketch(4, Q)
+        p0, p1 = sketch.client_prepare(one_hot(4, 1), SeededRNG("bc"))
+        from repro.baselines.sketch import SketchClientPackage
+
+        tampered = SketchClientPackage(
+            p0.x_share, p0.mask_share, (p0.mask_square_share + 1) % Q
+        )
+        assert not sketch.validate((tampered, p1), b"seed")
+
+    def test_rejection_independent_of_seed(self):
+        """Schwartz–Zippel: a fixed invalid input fails for (almost) any r."""
+        sketch = OneHotSketch(4, Q)
+        packages = sketch.client_prepare([1, 1, 0, 0], SeededRNG("sz"))
+        rejections = sum(
+            not sketch.validate(packages, f"s{i}".encode()) for i in range(20)
+        )
+        assert rejections == 20
+
+
+class TestValidation:
+    def test_dimension_mismatch(self):
+        sketch = OneHotSketch(4, Q)
+        with pytest.raises(ParameterError):
+            sketch.client_prepare([1, 0], SeededRNG("x"))
+
+    def test_bad_dimension(self):
+        with pytest.raises(ParameterError):
+            OneHotSketch(0, Q)
+
+    def test_public_vector_deterministic(self):
+        sketch = OneHotSketch(8, Q)
+        assert sketch.public_vector(b"s") == sketch.public_vector(b"s")
+        assert sketch.public_vector(b"s") != sketch.public_vector(b"t")
+        assert all(0 <= r < Q for r in sketch.public_vector(b"s"))

@@ -1,0 +1,47 @@
+"""Non-verifiable curator baseline and its malicious twin."""
+
+from repro.baselines.trusted_curator import MaliciousCurator, NonVerifiableCurator
+from repro.dp.binomial import BinomialMechanism
+from repro.utils.rng import SeededRNG
+
+
+class TestHonestCurator:
+    def test_count_release(self):
+        curator = NonVerifiableCurator.binomial(1.0, 2**-10)
+        out = curator.release_count([1, 0, 1, 1], SeededRNG("c"))
+        assert out.value == 3 + out.noise
+
+    def test_histogram_release(self):
+        curator = NonVerifiableCurator.binomial(1.0, 2**-10)
+        outs = curator.release_histogram([0, 1, 1, 2], 3, SeededRNG("h"))
+        assert len(outs) == 3
+        assert outs[1].value == 2 + outs[1].noise
+
+
+class TestMaliciousCurator:
+    def test_bias_applied_but_not_reported(self):
+        mech = BinomialMechanism(1.0, 2**-10)
+        curator = MaliciousCurator(mech, bias=50.0)
+        out = curator.release_count([1] * 10, SeededRNG("m"))
+        # The released value includes the bias; the reported noise does not.
+        assert out.value == 10 + out.noise + 50.0
+
+    def test_histogram_bias(self):
+        mech = BinomialMechanism(1.0, 2**-10)
+        curator = MaliciousCurator(mech, bias=5.0)
+        outs = curator.release_histogram([0, 0, 1], 2, SeededRNG("mh"))
+        assert outs[0].value == 2 + outs[0].noise + 5.0
+
+    def test_bias_within_noise_plausible(self):
+        """The motivating problem: a bias of ~1 noise std produces releases
+        whose deviation is statistically unremarkable."""
+        mech = BinomialMechanism(1.0, 2**-10)
+        std = (mech.nb ** 0.5) / 2
+        curator = MaliciousCurator(mech, bias=std)
+        rng = SeededRNG("plaus")
+        deviations = [
+            abs(curator.release_count([1] * 100, rng).value - 100) for _ in range(50)
+        ]
+        # Most deviations stay under 4 sigma — indistinguishable from honest noise.
+        within = sum(d < 4 * std for d in deviations)
+        assert within >= 45

@@ -1,0 +1,46 @@
+"""ASCII chart rendering."""
+
+import pytest
+
+from repro.bench.plot import ascii_chart
+from repro.errors import ParameterError
+
+
+class TestAsciiChart:
+    def test_basic_render(self):
+        chart = ascii_chart(
+            {"a": [(1, 10), (2, 100), (3, 1000)]},
+            title="T", x_label="eps", y_label="ms",
+        )
+        assert "T" in chart
+        assert "o a" in chart  # legend
+        assert "(eps)" in chart
+
+    def test_multiple_series_distinct_marks(self):
+        chart = ascii_chart(
+            {"one": [(1, 1), (2, 2)], "two": [(1, 3), (2, 4)]}, log_y=False
+        )
+        assert "o one" in chart and "x two" in chart
+
+    def test_log_scale_requires_positive(self):
+        with pytest.raises(ParameterError):
+            ascii_chart({"a": [(1, 0)]}, log_y=True)
+
+    def test_linear_scale_allows_zero(self):
+        chart = ascii_chart({"a": [(0, 0), (1, 5)]}, log_y=False)
+        assert "o" in chart
+
+    def test_empty_rejected(self):
+        with pytest.raises(ParameterError):
+            ascii_chart({})
+
+    def test_single_point(self):
+        chart = ascii_chart({"a": [(1, 1)]}, log_y=False)
+        assert "o" in chart
+
+    def test_dimensions(self):
+        chart = ascii_chart(
+            {"a": [(0, 1), (10, 100)]}, width=40, height=8
+        )
+        data_rows = [l for l in chart.splitlines() if "|" in l]
+        assert len(data_rows) == 9  # header row + 8 grid rows

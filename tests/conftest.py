@@ -1,0 +1,50 @@
+"""Shared fixtures.
+
+Crypto tests run on the small simulation groups ("p64-sim"/"p128-sim") —
+identical code paths to production parameters at a fraction of the cost;
+the named production group ("modp-2048") is exercised by a handful of
+smoke tests and the benchmark suite.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.pedersen import PedersenParams
+from repro.crypto.ristretto import RistrettoGroup
+from repro.crypto.schnorr_group import SchnorrGroup
+from repro.utils.rng import SeededRNG
+
+
+@pytest.fixture(scope="session")
+def group64() -> SchnorrGroup:
+    return SchnorrGroup.named("p64-sim")
+
+
+@pytest.fixture(scope="session")
+def group128() -> SchnorrGroup:
+    return SchnorrGroup.named("p128-sim")
+
+
+@pytest.fixture(scope="session")
+def ristretto() -> RistrettoGroup:
+    return RistrettoGroup.instance()
+
+
+@pytest.fixture(scope="session")
+def pedersen64(group64) -> PedersenParams:
+    return PedersenParams(group64)
+
+
+@pytest.fixture(scope="session")
+def pedersen128(group128) -> PedersenParams:
+    return PedersenParams(group128)
+
+
+@pytest.fixture()
+def rng() -> SeededRNG:
+    return SeededRNG("pytest")
+
+
+def make_rng(label: str) -> SeededRNG:
+    return SeededRNG(f"pytest-{label}")

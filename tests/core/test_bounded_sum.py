@@ -1,0 +1,117 @@
+"""The bounded-sum extension: range proofs + verifiable scaled noise."""
+
+import pytest
+
+from repro.core.bounded_sum import VerifiableBoundedSum
+from repro.errors import ParameterError
+from repro.utils.rng import SeededRNG
+
+GROUP = "p64-sim"
+
+
+def build(bits=4, nb=16, seed="bs"):
+    return VerifiableBoundedSum(
+        bits, epsilon=1.0, delta=2**-10, group=GROUP, nb_override=nb,
+        rng=SeededRNG(seed),
+    )
+
+
+class TestSubmissions:
+    def test_submit_and_validate(self):
+        system = build()
+        submission, openings = system.submit("c0", 11, SeededRNG("s"))
+        assert len(submission.bit_commitments) == 4
+        assert system.validate(submission)
+
+    def test_derived_commitment_opens_to_value(self):
+        system = build()
+        submission, openings = system.submit("c0", 13, SeededRNG("d"))
+        derived = submission.derived_value_commitment(system.params)
+        value = sum((1 << j) * o.value for j, o in enumerate(openings))
+        randomness = sum((1 << j) * o.randomness for j, o in enumerate(openings))
+        q = system.params.q
+        assert system.params.pedersen.commit(value % q, randomness % q).element == derived.element
+        assert value == 13
+
+    def test_out_of_range_rejected_at_submit(self):
+        system = build(bits=3)
+        with pytest.raises(ParameterError):
+            system.submit("c0", 8, SeededRNG("x"))
+        with pytest.raises(ParameterError):
+            system.submit("c0", -1, SeededRNG("x"))
+
+    def test_foreign_proof_fails_validation(self):
+        system = build()
+        sub_a, _ = system.submit("alice", 5, SeededRNG("a"))
+        sub_b, _ = system.submit("bob", 5, SeededRNG("b"))
+        from repro.core.bounded_sum import RangeCommitment
+
+        franken = RangeCommitment("alice", sub_a.bit_commitments, sub_b.bit_proofs)
+        assert not system.validate(franken)
+
+    def test_wrong_width_fails_validation(self):
+        system = build(bits=4)
+        sub, _ = system.submit("c", 3, SeededRNG("w"))
+        from repro.core.bounded_sum import RangeCommitment
+
+        short = RangeCommitment("c", sub.bit_commitments[:3], sub.bit_proofs[:3])
+        assert not system.validate(short)
+
+
+class TestProtocolRun:
+    def test_honest_run_accepts(self):
+        system = build(nb=8, seed="run")
+        values = [3, 7, 12, 0, 15]
+        submissions = [
+            system.submit(f"c{i}", v, SeededRNG(f"c{i}")) for i, v in enumerate(values)
+        ]
+        release = system.run(submissions, curator_rng=SeededRNG("cur"))
+        assert release.accepted
+        assert release.rejected_clients == ()
+        true = sum(values)
+        max_dev = system.sensitivity * system.params.nb / 2
+        assert abs(release.estimate - true) <= max_dev + 1
+
+    def test_noise_in_scaled_support(self):
+        system = build(nb=8, seed="sup")
+        submissions = [system.submit("c0", 5, SeededRNG("c0"))]
+        release = system.run(submissions, curator_rng=SeededRNG("cur2"))
+        noise = release.raw - 5
+        assert 0 <= noise <= system.sensitivity * system.params.nb
+        assert noise % system.sensitivity == 0  # noise is Δ·Binomial
+
+    def test_tampering_curator_caught(self):
+        system = build(nb=8, seed="tam")
+        submissions = [system.submit("c0", 9, SeededRNG("c0"))]
+        release = system.run(
+            submissions, curator_rng=SeededRNG("cur3"), tamper_bias=5
+        )
+        assert not release.accepted
+
+    def test_invalid_submission_excluded(self):
+        system = build(nb=8, seed="exc")
+        good = system.submit("good", 6, SeededRNG("g"))
+        bad_sub, bad_open = system.submit("bad", 6, SeededRNG("b"))
+        from repro.core.bounded_sum import RangeCommitment
+
+        franken = (
+            RangeCommitment("bad", bad_sub.bit_commitments[::-1], bad_sub.bit_proofs),
+            bad_open,
+        )
+        release = system.run([good, franken], curator_rng=SeededRNG("cur4"))
+        assert release.accepted
+        assert release.rejected_clients == ("bad",)
+        # Only 'good' counted: raw <= 6 + Δ·nb.
+        assert release.raw <= 6 + system.sensitivity * system.params.nb
+
+    def test_parameter_validation(self):
+        with pytest.raises(ParameterError):
+            VerifiableBoundedSum(0, 1.0, 2**-10, group=GROUP)
+        with pytest.raises(ParameterError):
+            VerifiableBoundedSum(33, 1.0, 2**-10, group=GROUP)
+
+    def test_privacy_calibration_scales_with_sensitivity(self):
+        """Wider values ⇒ smaller per-coin ε ⇒ more coins."""
+        narrow = VerifiableBoundedSum(2, 1.0, 2**-10, group=GROUP)
+        wide = VerifiableBoundedSum(8, 1.0, 2**-10, group=GROUP)
+        assert wide.params.nb > narrow.params.nb

@@ -1,0 +1,94 @@
+"""Client-side sharing, commitments and validity proofs."""
+
+import pytest
+
+from repro.core.client import Client, InconsistentShareClient, encode_choice
+from repro.core.params import setup
+from repro.crypto.sigma.onehot import OneHotProof
+from repro.crypto.sigma.or_bit import BitProof
+from repro.errors import ParameterError
+from repro.utils.rng import SeededRNG
+
+
+@pytest.fixture(scope="module")
+def params_k2():
+    return setup(1.0, 2**-10, num_provers=2, group="p64-sim", nb_override=31)
+
+
+@pytest.fixture(scope="module")
+def params_m4():
+    return setup(1.0, 2**-10, num_provers=2, dimension=4, group="p64-sim", nb_override=31)
+
+
+class TestEncodeChoice:
+    def test_bit_dimension(self):
+        assert encode_choice(0, 1) == [0]
+        assert encode_choice(1, 1) == [1]
+        with pytest.raises(ParameterError):
+            encode_choice(2, 1)
+
+    def test_one_hot(self):
+        assert encode_choice(2, 4) == [0, 0, 1, 0]
+        with pytest.raises(ParameterError):
+            encode_choice(4, 4)
+        with pytest.raises(ParameterError):
+            encode_choice(-1, 4)
+
+
+class TestSubmission:
+    def test_shapes(self, params_k2):
+        client = Client("c", [1], SeededRNG("c"))
+        broadcast, privates = client.submit(params_k2)
+        assert len(broadcast.share_commitments) == 2  # K provers
+        assert len(broadcast.share_commitments[0]) == 1  # M coordinates
+        assert isinstance(broadcast.validity_proof, BitProof)
+        assert len(privates) == 2
+        assert len(privates[0].openings) == 1
+
+    def test_m_dimensional_uses_onehot(self, params_m4):
+        client = Client("c", encode_choice(2, 4), SeededRNG("c4"))
+        broadcast, privates = client.submit(params_m4)
+        assert isinstance(broadcast.validity_proof, OneHotProof)
+        assert broadcast.validity_proof.dimension == 4
+
+    def test_shares_reconstruct_input(self, params_k2):
+        client = Client("c", [1], SeededRNG("rec"))
+        _, privates = client.submit(params_k2)
+        total = sum(p.openings[0].value for p in privates) % params_k2.q
+        assert total == 1
+
+    def test_openings_match_commitments(self, params_k2):
+        client = Client("c", [1], SeededRNG("open"))
+        broadcast, privates = client.submit(params_k2)
+        for k in range(2):
+            assert params_k2.pedersen.opens_to(
+                broadcast.share_commitments[k][0], privates[k].openings[0]
+            )
+
+    def test_derived_commitment_is_product(self, params_k2):
+        client = Client("c", [1], SeededRNG("der"))
+        broadcast, _ = client.submit(params_k2)
+        derived = broadcast.derived_commitments()
+        product = params_k2.pedersen.product(
+            [broadcast.share_commitments[k][0] for k in range(2)]
+        )
+        assert derived[0].element == product.element
+
+    def test_wrong_vector_length_rejected(self, params_m4):
+        client = Client("c", [1], SeededRNG("w"))
+        with pytest.raises(ParameterError):
+            client.submit(params_m4)
+
+
+class TestDishonestClients:
+    def test_inconsistent_share_client_mismatch(self, params_k2):
+        client = InconsistentShareClient("c", [1], victim_prover=0, rng=SeededRNG("i"))
+        broadcast, privates = client.submit(params_k2)
+        # Tampered opening no longer matches the broadcast commitment.
+        assert not params_k2.pedersen.opens_to(
+            broadcast.share_commitments[0][0], privates[0].openings[0]
+        )
+        # The other prover's opening is untouched.
+        assert params_k2.pedersen.opens_to(
+            broadcast.share_commitments[1][0], privates[1].openings[0]
+        )

@@ -1,0 +1,66 @@
+"""Composing verifiable noise onto outer (PRIO-style) aggregates."""
+
+import pytest
+
+from repro.core.composition import NoiseAttestation, VerifiableNoiseWrapper
+from repro.core.params import setup
+from repro.errors import VerificationError
+from repro.mpc.morra import MorraParticipant
+from repro.utils.rng import SeededRNG
+
+GROUP = "p64-sim"
+
+
+@pytest.fixture()
+def wrapper():
+    params = setup(1.0, 2**-10, group=GROUP, nb_override=16)
+    return VerifiableNoiseWrapper(params, SeededRNG("w"))
+
+
+def attest(wrapper, aggregate=100, seed="srv"):
+    server = MorraParticipant("server-0", SeededRNG(seed))
+    verifier = MorraParticipant("verifier", SeededRNG(f"{seed}-vfr"))
+    return wrapper.attest(server, verifier, aggregate, b"ctx")
+
+
+class TestComposition:
+    def test_roundtrip(self, wrapper):
+        attestation = attest(wrapper)
+        wrapper.verify(attestation, b"ctx")
+
+    def test_noise_in_support(self, wrapper):
+        attestation = attest(wrapper, aggregate=50)
+        noise = attestation.y - 50
+        assert 0 <= noise <= wrapper.params.nb
+
+    def test_tampered_y_rejected(self, wrapper):
+        a = attest(wrapper)
+        bad = NoiseAttestation(
+            a.server_id, a.aggregate_commitment, a.coin_commitments,
+            a.coin_proofs, a.public_bits, (a.y + 1) % wrapper.params.q, a.z,
+        )
+        with pytest.raises(VerificationError) as err:
+            wrapper.verify(bad, b"ctx")
+        assert err.value.culprit == "server-0"
+
+    def test_wrong_context_rejected(self, wrapper):
+        a = attest(wrapper)
+        with pytest.raises(VerificationError):
+            wrapper.verify(a, b"other-ctx")
+
+    def test_flipped_public_bit_rejected(self, wrapper):
+        a = attest(wrapper)
+        flipped = tuple(
+            (1 - b if i == 0 else b) for i, b in enumerate(a.public_bits)
+        )
+        bad = NoiseAttestation(
+            a.server_id, a.aggregate_commitment, a.coin_commitments,
+            a.coin_proofs, flipped, a.y, a.z,
+        )
+        with pytest.raises(VerificationError):
+            wrapper.verify(bad, b"ctx")
+
+    def test_requires_scalar_dimension(self):
+        params = setup(1.0, 2**-10, dimension=2, group=GROUP, nb_override=16)
+        with pytest.raises(VerificationError):
+            VerifiableNoiseWrapper(params)

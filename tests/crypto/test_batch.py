@@ -1,0 +1,53 @@
+"""Batched OR-proof verification: equivalence with sequential checking."""
+
+import pytest
+
+from repro.crypto.fiat_shamir import Transcript
+from repro.crypto.sigma.batch import batch_verify_bits
+from repro.crypto.sigma.or_bit import BitProof, prove_bits, verify_bits
+from repro.errors import ProofRejected
+from repro.utils.rng import SeededRNG
+
+
+def make_batch(pedersen, n, seed="batch"):
+    rng = SeededRNG(seed)
+    bits = [rng.coin() for _ in range(n)]
+    cs, os_ = pedersen.commit_vector(bits, rng)
+    proofs = prove_bits(pedersen, cs, os_, Transcript("b"), rng)
+    return cs, proofs, rng
+
+
+class TestBatchVerification:
+    def test_accepts_honest_batch(self, pedersen64):
+        cs, proofs, rng = make_batch(pedersen64, 24)
+        batch_verify_bits(pedersen64, cs, proofs, Transcript("b"), rng)
+
+    def test_agrees_with_sequential(self, pedersen64):
+        cs, proofs, rng = make_batch(pedersen64, 12, seed="agree")
+        verify_bits(pedersen64, cs, proofs, Transcript("b"))
+        batch_verify_bits(pedersen64, cs, proofs, Transcript("b"), rng)
+
+    @pytest.mark.parametrize("position", [0, 5, 11])
+    def test_single_bad_proof_fails_batch(self, pedersen64, position):
+        cs, proofs, rng = make_batch(pedersen64, 12, seed=f"bad{position}")
+        bad = proofs[position]
+        proofs[position] = BitProof(
+            bad.d0, bad.d1, bad.e0, bad.e1, (bad.v0 + 1) % pedersen64.q, bad.v1
+        )
+        with pytest.raises(ProofRejected):
+            batch_verify_bits(pedersen64, cs, proofs, Transcript("b"), rng)
+
+    def test_bad_challenge_split_fails(self, pedersen64):
+        cs, proofs, rng = make_batch(pedersen64, 6, seed="split")
+        p = proofs[2]
+        proofs[2] = BitProof(p.d0, p.d1, (p.e0 + 1) % pedersen64.q, p.e1, p.v0, p.v1)
+        with pytest.raises(ProofRejected):
+            batch_verify_bits(pedersen64, cs, proofs, Transcript("b"), rng)
+
+    def test_length_mismatch(self, pedersen64):
+        cs, proofs, rng = make_batch(pedersen64, 4, seed="len")
+        with pytest.raises(ProofRejected):
+            batch_verify_bits(pedersen64, cs, proofs[:3], Transcript("b"), rng)
+
+    def test_empty_batch(self, pedersen64, rng):
+        batch_verify_bits(pedersen64, [], [], Transcript("b"), rng)

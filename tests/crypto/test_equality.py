@@ -1,0 +1,41 @@
+"""Equality proofs between two Pedersen commitments."""
+
+import pytest
+
+from repro.crypto.fiat_shamir import Transcript
+from repro.crypto.sigma.equality import prove_equal, verify_equal
+from repro.errors import ParameterError, ProofRejected
+from repro.utils.rng import SeededRNG
+
+
+class TestEquality:
+    def test_roundtrip(self, pedersen64):
+        rng = SeededRNG("eq")
+        c1, o1 = pedersen64.commit_fresh(42, rng)
+        c2, o2 = pedersen64.commit_fresh(42, rng)
+        proof = prove_equal(pedersen64, c1, o1, c2, o2, Transcript("t"), rng)
+        verify_equal(pedersen64, c1, c2, proof, Transcript("t"))
+
+    def test_unequal_values_refused_at_prove(self, pedersen64):
+        rng = SeededRNG("ne")
+        c1, o1 = pedersen64.commit_fresh(1, rng)
+        c2, o2 = pedersen64.commit_fresh(2, rng)
+        with pytest.raises(ParameterError):
+            prove_equal(pedersen64, c1, o1, c2, o2, Transcript("t"), rng)
+
+    def test_forged_statement_rejected(self, pedersen64):
+        rng = SeededRNG("fg")
+        c1, o1 = pedersen64.commit_fresh(5, rng)
+        c2, o2 = pedersen64.commit_fresh(5, rng)
+        c3, _ = pedersen64.commit_fresh(6, rng)
+        proof = prove_equal(pedersen64, c1, o1, c2, o2, Transcript("t"), rng)
+        with pytest.raises(ProofRejected):
+            verify_equal(pedersen64, c1, c3, proof, Transcript("t"))
+
+    def test_mismatched_opening_refused(self, pedersen64):
+        rng = SeededRNG("mm")
+        c1, o1 = pedersen64.commit_fresh(5, rng)
+        c2, _ = pedersen64.commit_fresh(5, rng)
+        _, o_other = pedersen64.commit_fresh(5, rng)
+        with pytest.raises(ParameterError):
+            prove_equal(pedersen64, c1, o1, c2, o_other, Transcript("t"), rng)

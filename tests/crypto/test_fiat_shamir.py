@@ -1,0 +1,116 @@
+"""Transcript: domain separation, order sensitivity, challenge extraction."""
+
+import pytest
+
+from repro.crypto.fiat_shamir import Transcript
+from repro.errors import ParameterError
+
+
+def challenge(t: Transcript) -> bytes:
+    return t.challenge_bytes("c", 32)
+
+
+class TestDomainSeparation:
+    def test_same_inputs_same_challenge(self):
+        a = Transcript("d")
+        b = Transcript("d")
+        a.append_int("x", 5)
+        b.append_int("x", 5)
+        assert challenge(a) == challenge(b)
+
+    def test_different_domains_differ(self):
+        a = Transcript("d1")
+        b = Transcript("d2")
+        assert challenge(a) != challenge(b)
+
+    def test_empty_domain_rejected(self):
+        with pytest.raises(ParameterError):
+            Transcript("")
+
+    def test_label_matters(self):
+        a = Transcript("d")
+        b = Transcript("d")
+        a.append_int("x", 5)
+        b.append_int("y", 5)
+        assert challenge(a) != challenge(b)
+
+    def test_message_split_unambiguous(self):
+        """append("ab") then append("c") != append("a") then append("bc")."""
+        a = Transcript("d")
+        a.append_bytes("m", b"ab")
+        a.append_bytes("m", b"c")
+        b = Transcript("d")
+        b.append_bytes("m", b"a")
+        b.append_bytes("m", b"bc")
+        assert challenge(a) != challenge(b)
+
+    def test_order_matters(self):
+        a = Transcript("d")
+        a.append_int("x", 1)
+        a.append_int("y", 2)
+        b = Transcript("d")
+        b.append_int("y", 2)
+        b.append_int("x", 1)
+        assert challenge(a) != challenge(b)
+
+
+class TestChallenges:
+    def test_extraction_chains(self):
+        """A second challenge depends on the first extraction."""
+        a = Transcript("d")
+        c1 = a.challenge_bytes("one", 16)
+        c2 = a.challenge_bytes("two", 16)
+        b = Transcript("d")
+        d2_first = b.challenge_bytes("two", 16)
+        assert c1 != c2
+        assert c2 != d2_first
+
+    def test_challenge_scalar_range(self):
+        t = Transcript("d")
+        for i in range(20):
+            q = 2**61 - 1
+            s = t.challenge_scalar(f"s{i}", q)
+            assert 0 <= s < q
+
+    def test_challenge_scalar_small_modulus(self):
+        t = Transcript("d")
+        assert t.challenge_scalar("s", 2) in (0, 1)
+        with pytest.raises(ParameterError):
+            t.challenge_scalar("s", 1)
+
+    def test_long_extraction(self):
+        t = Transcript("d")
+        data = t.challenge_bytes("long", 1000)
+        assert len(data) == 1000
+
+    def test_element_append(self, group64):
+        a = Transcript("d")
+        b = Transcript("d")
+        a.append_element("g", group64.generator())
+        b.append_element("g", group64.generator() ** 2)
+        assert challenge(a) != challenge(b)
+
+    def test_elements_append(self, group64):
+        t = Transcript("d")
+        t.append_elements("gs", [group64.generator(), group64.generator() ** 2])
+        assert len(challenge(t)) == 32
+
+
+class TestFork:
+    def test_forks_differ_by_label(self):
+        t = Transcript("d")
+        t.append_int("x", 1)
+        assert challenge(t.fork("a")) != challenge(t.fork("b"))
+
+    def test_fork_does_not_mutate_parent(self):
+        a = Transcript("d")
+        b = Transcript("d")
+        a.fork("child")
+        assert challenge(a) == challenge(b)
+
+    def test_fork_inherits_state(self):
+        a = Transcript("d")
+        a.append_int("x", 1)
+        b = Transcript("d")
+        b.append_int("x", 2)
+        assert challenge(a.fork("f")) != challenge(b.fork("f"))

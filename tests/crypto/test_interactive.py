@@ -1,0 +1,124 @@
+"""Interactive Σ-OR sessions (non-ROM variant)."""
+
+import pytest
+
+from repro.crypto.sigma.interactive import (
+    InteractiveBitProver,
+    InteractiveBitVerifier,
+    run_interactive_bit_proof,
+)
+from repro.errors import ParameterError, ProofRejected
+from repro.utils.rng import SeededRNG
+
+
+class TestHonestSessions:
+    @pytest.mark.parametrize("bit", [0, 1])
+    def test_single_session(self, pedersen64, bit):
+        rng = SeededRNG(f"i{bit}")
+        c, o = pedersen64.commit_fresh(bit, rng)
+        transcripts = run_interactive_bit_proof(
+            pedersen64, c, o, prover_rng=rng, verifier_rng=SeededRNG("v")
+        )
+        assert len(transcripts) == 1
+
+    def test_repetitions(self, pedersen64):
+        rng = SeededRNG("rep")
+        c, o = pedersen64.commit_fresh(1, rng)
+        transcripts = run_interactive_bit_proof(
+            pedersen64, c, o, repetitions=5, challenge_bits=8,
+            prover_rng=rng, verifier_rng=SeededRNG("v"),
+        )
+        assert len(transcripts) == 5
+
+    def test_small_challenge_space(self, pedersen64):
+        rng = SeededRNG("small")
+        c, o = pedersen64.commit_fresh(0, rng)
+        verifier = InteractiveBitVerifier(
+            pedersen64, c, challenge_bits=4, rng=SeededRNG("v4")
+        )
+        prover = InteractiveBitProver(pedersen64, c, o, rng)
+        a = prover.announce()
+        e = verifier.challenge(a)
+        assert 0 <= e < 16
+        verifier.check(prover.respond(e))
+
+
+class TestProtocolMisuse:
+    def test_respond_before_announce(self, pedersen64, rng):
+        c, o = pedersen64.commit_fresh(0, rng)
+        prover = InteractiveBitProver(pedersen64, c, o, rng)
+        with pytest.raises(ParameterError):
+            prover.respond(5)
+
+    def test_check_before_challenge(self, pedersen64, rng):
+        c, _ = pedersen64.commit_fresh(0, rng)
+        verifier = InteractiveBitVerifier(pedersen64, c, rng=rng)
+        with pytest.raises(ParameterError):
+            verifier.check((0, 0, 0, 0))
+
+    def test_non_bit_witness(self, pedersen64, rng):
+        c, o = pedersen64.commit_fresh(3, rng)
+        with pytest.raises(ParameterError):
+            InteractiveBitProver(pedersen64, c, o, rng)
+
+    def test_zero_repetitions(self, pedersen64, rng):
+        c, o = pedersen64.commit_fresh(0, rng)
+        with pytest.raises(ParameterError):
+            run_interactive_bit_proof(pedersen64, c, o, repetitions=0)
+
+
+class TestSoundnessAndMalice:
+    def test_wrong_response_rejected(self, pedersen64, rng):
+        c, o = pedersen64.commit_fresh(0, rng)
+        prover = InteractiveBitProver(pedersen64, c, o, rng)
+        verifier = InteractiveBitVerifier(pedersen64, c, rng=SeededRNG("v"))
+        a = prover.announce()
+        e = verifier.challenge(a)
+        e0, e1, v0, v1 = prover.respond(e)
+        with pytest.raises(ProofRejected):
+            verifier.check((e0, e1, (v0 + 1) % pedersen64.q, v1))
+
+    def test_cheating_prover_small_challenges(self, pedersen64):
+        """A prover committed to 2 can guess a 2-bit challenge and cheat
+        with probability 1/4 per run; over 20 runs it is caught w.h.p.
+        We simulate the best strategy: prepare a simulated transcript for
+        a guessed challenge, fail when the verifier picks another."""
+        from repro.crypto.sigma.or_bit import simulate_bit_transcript
+
+        rng = SeededRNG("cheat")
+        c, _ = pedersen64.commit_fresh(2, rng)  # NOT a bit
+        verifier_rng = SeededRNG("vr")
+        caught = 0
+        trials = 20
+        for t in range(trials):
+            guess = rng.randbits(2)
+            fake = simulate_bit_transcript(pedersen64, c, guess, rng)
+            verifier = InteractiveBitVerifier(
+                pedersen64, c, challenge_bits=2, rng=verifier_rng
+            )
+            from repro.crypto.sigma.interactive import Announcement
+
+            e = verifier.challenge(Announcement(fake.d0, fake.d1))
+            if e != guess:
+                # The cheater has no witness; it cannot answer e != guess.
+                with pytest.raises(ProofRejected):
+                    verifier.check((fake.e0, fake.e1, fake.v0, fake.v1))
+                caught += 1
+            else:
+                verifier.check((fake.e0, fake.e1, fake.v0, fake.v1))
+        assert caught >= trials // 2  # expected 3/4 of runs
+
+    def test_malicious_verifier_learns_nothing_structural(self, pedersen64):
+        """A verifier choosing adversarial (non-uniform) challenges still
+        sees transcripts whose marginals don't depend on the bit: both
+        witness values answer every challenge."""
+        rng = SeededRNG("mv")
+        for challenge in (0, 1, 17, pedersen64.q - 1):
+            for bit in (0, 1):
+                c, o = pedersen64.commit_fresh(bit, rng)
+                prover = InteractiveBitProver(pedersen64, c, o, rng)
+                verifier = InteractiveBitVerifier(pedersen64, c, rng=rng)
+                a = prover.announce()
+                verifier._announcement = a
+                verifier._challenge = challenge
+                verifier.check(prover.respond(challenge))

@@ -1,0 +1,75 @@
+"""Multi-exponentiation and fixed-base tables match naive evaluation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.multiexp import FixedBaseTable, multi_exponentiation
+from repro.errors import ParameterError
+from repro.utils.rng import SeededRNG
+
+scalars = st.integers(min_value=0, max_value=2**70)
+
+
+class TestMultiExponentiation:
+    @given(st.lists(scalars, min_size=0, max_size=8))
+    @settings(max_examples=30)
+    def test_matches_naive(self, group64, exps):
+        rng = SeededRNG("me")
+        bases = [group64.random_element(rng) for _ in exps]
+        expected = group64.identity()
+        for base, e in zip(bases, exps):
+            expected = expected * base ** e
+        assert multi_exponentiation(group64, bases, exps) == expected
+
+    def test_empty(self, group64):
+        assert multi_exponentiation(group64, [], []) == group64.identity()
+
+    def test_single(self, group64):
+        g = group64.generator()
+        assert multi_exponentiation(group64, [g], [12345]) == g ** 12345
+
+    def test_all_zero_exponents(self, group64):
+        g = group64.generator()
+        assert multi_exponentiation(group64, [g, g], [0, 0]) == group64.identity()
+
+    def test_mismatch(self, group64):
+        with pytest.raises(ParameterError):
+            multi_exponentiation(group64, [group64.generator()], [1, 2])
+
+    def test_on_ristretto(self, ristretto):
+        g = ristretto.generator()
+        bases = [g ** 3, g ** 5]
+        assert multi_exponentiation(ristretto, bases, [2, 4]) == g ** 26
+
+
+class TestFixedBaseTable:
+    @given(a=scalars)
+    @settings(max_examples=30)
+    def test_matches_pow(self, group64, a):
+        table = _table64(group64)
+        assert table.power(a) == group64.generator() ** a
+
+    def test_zero(self, group64):
+        assert _table64(group64).power(0) == group64.identity()
+
+    def test_order_reduction(self, group64):
+        table = _table64(group64)
+        assert table.power(group64.order + 5) == group64.generator() ** 5
+
+    def test_base_property(self, group64):
+        assert _table64(group64).base == group64.generator()
+
+    def test_invalid_window(self, group64):
+        with pytest.raises(ParameterError):
+            FixedBaseTable(group64.generator(), window=0)
+        with pytest.raises(ParameterError):
+            FixedBaseTable(group64.generator(), window=99)
+
+
+_cached = {}
+
+
+def _table64(group64):
+    if "t" not in _cached:
+        _cached["t"] = FixedBaseTable(group64.generator(), window=5)
+    return _cached["t"]

@@ -1,0 +1,95 @@
+"""One-hot proofs: the M-dimensional client-validity gadget."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.fiat_shamir import Transcript
+from repro.crypto.sigma.onehot import OneHotProof, prove_one_hot, verify_one_hot
+from repro.errors import ParameterError, ProofRejected
+from repro.utils.rng import SeededRNG
+
+
+def one_hot(m, hot):
+    return [1 if i == hot else 0 for i in range(m)]
+
+
+class TestCompleteness:
+    @given(st.integers(min_value=1, max_value=12), st.data())
+    @settings(max_examples=20)
+    def test_all_hot_positions(self, pedersen64, m, data):
+        hot = data.draw(st.integers(min_value=0, max_value=m - 1))
+        rng = SeededRNG(f"oh{m}{hot}")
+        cs, os_ = pedersen64.commit_vector(one_hot(m, hot), rng)
+        proof = prove_one_hot(pedersen64, cs, os_, Transcript("t"), rng)
+        verify_one_hot(pedersen64, cs, proof, Transcript("t"))
+
+    def test_dimension_one(self, pedersen64, rng):
+        cs, os_ = pedersen64.commit_vector([1], rng)
+        proof = prove_one_hot(pedersen64, cs, os_, Transcript("t"), rng)
+        verify_one_hot(pedersen64, cs, proof, Transcript("t"))
+        assert proof.dimension == 1
+
+
+class TestWitnessValidation:
+    @pytest.mark.parametrize(
+        "vector",
+        [
+            [0, 0, 0, 0],  # cold
+            [1, 1, 0, 0],  # two hot
+            [2, 0, 0, 0],  # non-bit coordinate summing to... 2
+            [1, 1, 1, 1],  # all hot
+        ],
+    )
+    def test_invalid_vectors_refused(self, pedersen64, rng, vector):
+        cs, os_ = pedersen64.commit_vector(vector, rng)
+        with pytest.raises(ParameterError):
+            prove_one_hot(pedersen64, cs, os_, Transcript("t"), rng)
+
+    def test_empty_refused(self, pedersen64, rng):
+        with pytest.raises(ParameterError):
+            prove_one_hot(pedersen64, [], [], Transcript("t"), rng)
+
+    def test_length_mismatch_refused(self, pedersen64, rng):
+        cs, os_ = pedersen64.commit_vector([1, 0], rng)
+        with pytest.raises(ParameterError):
+            prove_one_hot(pedersen64, cs, os_[:1], Transcript("t"), rng)
+
+
+class TestSoundness:
+    def test_proof_bound_to_commitments(self, pedersen64, rng):
+        cs1, os1 = pedersen64.commit_vector(one_hot(4, 0), rng)
+        cs2, _ = pedersen64.commit_vector(one_hot(4, 1), rng)
+        proof = prove_one_hot(pedersen64, cs1, os1, Transcript("t"), rng)
+        with pytest.raises(ProofRejected):
+            verify_one_hot(pedersen64, cs2, proof, Transcript("t"))
+
+    def test_dimension_mismatch_rejected(self, pedersen64, rng):
+        cs, os_ = pedersen64.commit_vector(one_hot(4, 0), rng)
+        proof = prove_one_hot(pedersen64, cs, os_, Transcript("t"), rng)
+        with pytest.raises(ProofRejected):
+            verify_one_hot(pedersen64, cs[:3], proof, Transcript("t"))
+
+    def test_tampered_randomness_sum_rejected(self, pedersen64, rng):
+        cs, os_ = pedersen64.commit_vector(one_hot(3, 1), rng)
+        proof = prove_one_hot(pedersen64, cs, os_, Transcript("t"), rng)
+        bad = OneHotProof(proof.bit_proofs, (proof.randomness_sum + 1) % pedersen64.q)
+        with pytest.raises(ProofRejected):
+            verify_one_hot(pedersen64, cs, bad, Transcript("t"))
+
+    def test_sum_check_catches_two_hot_with_forged_bitproofs(self, pedersen64, rng):
+        """Even if every coordinate is a genuine bit, a two-hot vector
+        fails the product check Π c_j == g·h^r."""
+        vector = [1, 1, 0]
+        cs, os_ = pedersen64.commit_vector(vector, rng)
+        # Build per-coordinate bit proofs honestly (each coordinate IS a bit).
+        t = Transcript("t")
+        t.append_int("dimension", len(cs))
+        from repro.crypto.sigma.or_bit import prove_bit
+
+        bit_proofs = tuple(
+            prove_bit(pedersen64, c, o, t, rng) for c, o in zip(cs, os_)
+        )
+        r_sum = sum(o.randomness for o in os_) % pedersen64.q
+        forged = OneHotProof(bit_proofs, r_sum)
+        with pytest.raises(ProofRejected):
+            verify_one_hot(pedersen64, cs, forged, Transcript("t"))

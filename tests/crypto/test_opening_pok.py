@@ -1,0 +1,82 @@
+"""Opening PoK: completeness, binding-by-extraction, HVZK."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.fiat_shamir import Transcript
+from repro.crypto.pedersen import Opening
+from repro.crypto.sigma.opening_pok import (
+    OpeningProof,
+    extract_opening,
+    prove_opening,
+    simulate_opening,
+    verify_opening,
+)
+from repro.errors import ParameterError, ProofRejected
+from repro.utils.rng import SeededRNG
+
+values = st.integers(min_value=0, max_value=2**62)
+
+
+class TestCompleteness:
+    @given(x=values)
+    @settings(max_examples=20)
+    def test_roundtrip(self, pedersen64, x):
+        rng = SeededRNG(f"o{x}")
+        c, o = pedersen64.commit_fresh(x, rng)
+        proof = prove_opening(pedersen64, c, o, Transcript("t"), rng)
+        verify_opening(pedersen64, c, proof, Transcript("t"))
+
+
+class TestSoundness:
+    def test_mismatched_witness_refused(self, pedersen64, rng):
+        c, o = pedersen64.commit_fresh(5, rng)
+        with pytest.raises(ParameterError):
+            prove_opening(pedersen64, c, Opening(6, o.randomness), Transcript("t"), rng)
+
+    def test_wrong_commitment_rejected(self, pedersen64, rng):
+        c1, o1 = pedersen64.commit_fresh(5, rng)
+        c2, _ = pedersen64.commit_fresh(6, rng)
+        proof = prove_opening(pedersen64, c1, o1, Transcript("t"), rng)
+        with pytest.raises(ProofRejected):
+            verify_opening(pedersen64, c2, proof, Transcript("t"))
+
+    def test_tampered_responses_rejected(self, pedersen64, rng):
+        c, o = pedersen64.commit_fresh(5, rng)
+        proof = prove_opening(pedersen64, c, o, Transcript("t"), rng)
+        bad = OpeningProof(
+            proof.announcement,
+            (proof.response_value + 1) % pedersen64.q,
+            proof.response_randomness,
+        )
+        with pytest.raises(ProofRejected):
+            verify_opening(pedersen64, c, bad, Transcript("t"))
+
+
+class TestExtraction:
+    def test_extractor_recovers_opening(self, pedersen64):
+        """Special soundness: rewinding to two challenges yields (x, r)."""
+        rng = SeededRNG("ex")
+        q = pedersen64.q
+        x, r = 77, 99
+        s = rng.field_element(q)
+        t = rng.field_element(q)
+        e1, e2 = 1111, 2222
+        resp1 = ((s + e1 * x) % q, (t + e1 * r) % q)
+        resp2 = ((s + e2 * x) % q, (t + e2 * r) % q)
+        opening = extract_opening(pedersen64, e1, resp1, e2, resp2)
+        assert opening == Opening(x, r)
+
+    def test_equal_challenges_rejected(self, pedersen64):
+        with pytest.raises(ParameterError):
+            extract_opening(pedersen64, 5, (1, 2), 5, (3, 4))
+
+
+class TestHVZK:
+    def test_simulator_accepts(self, pedersen64, rng):
+        c, _ = pedersen64.commit_fresh(123, rng)
+        e = 4242 % pedersen64.q
+        announcement, z_x, z_r = simulate_opening(pedersen64, c, e, rng)
+        lhs = (pedersen64.g ** z_x) * (pedersen64.h ** z_r)
+        rhs = announcement * (c.element ** e)
+        assert lhs == rhs

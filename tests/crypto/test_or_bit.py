@@ -1,0 +1,166 @@
+"""The CDS94 Σ-OR bit proof — the core verification gadget of ΠBin."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.fiat_shamir import Transcript
+from repro.crypto.pedersen import Opening
+from repro.crypto.sigma.or_bit import (
+    BitProof,
+    branch_statements,
+    prove_bit,
+    prove_bits,
+    simulate_bit_transcript,
+    verify_bit,
+    verify_bits,
+)
+from repro.errors import ParameterError, ProofRejected
+from repro.utils.rng import SeededRNG
+
+
+class TestCompleteness:
+    @pytest.mark.parametrize("bit", [0, 1])
+    def test_honest_proof_verifies(self, pedersen64, bit):
+        rng = SeededRNG(f"c{bit}")
+        c, o = pedersen64.commit_fresh(bit, rng)
+        proof = prove_bit(pedersen64, c, o, Transcript("t"), rng)
+        verify_bit(pedersen64, c, proof, Transcript("t"))
+
+    @given(st.integers(min_value=0, max_value=2**32))
+    @settings(max_examples=20)
+    def test_many_randomness_values(self, pedersen64, seed):
+        rng = SeededRNG(f"r{seed}")
+        bit = seed & 1
+        c, o = pedersen64.commit_fresh(bit, rng)
+        proof = prove_bit(pedersen64, c, o, Transcript("t"), rng)
+        verify_bit(pedersen64, c, proof, Transcript("t"))
+
+    def test_batch_roundtrip(self, pedersen64):
+        rng = SeededRNG("batch")
+        bits = [rng.coin() for _ in range(20)]
+        cs, os_ = pedersen64.commit_vector(bits, rng)
+        proofs = prove_bits(pedersen64, cs, os_, Transcript("b"), rng)
+        verify_bits(pedersen64, cs, proofs, Transcript("b"))
+
+    def test_challenge_split_verified(self, pedersen64, rng):
+        c, o = pedersen64.commit_fresh(0, rng)
+        proof = prove_bit(pedersen64, c, o, Transcript("t"), rng)
+        assert (proof.e0 + proof.e1) % pedersen64.q == Transcript_challenge(pedersen64, c, proof)
+
+
+def Transcript_challenge(pedersen, commitment, proof):
+    """Recompute the FS challenge the verifier derives."""
+    t = Transcript("t")
+    t.append_bytes("pp", pedersen.transcript_bytes())
+    t.append_element("bit-commitment", commitment.element)
+    t.append_element("d0", proof.d0)
+    t.append_element("d1", proof.d1)
+    return t.challenge_scalar("or-challenge", pedersen.q)
+
+
+class TestWitnessValidation:
+    @pytest.mark.parametrize("value", [2, 3, 17, -1])
+    def test_non_bit_witness_refused(self, pedersen64, rng, value):
+        c, o = pedersen64.commit_fresh(value, rng)
+        with pytest.raises(ParameterError):
+            prove_bit(pedersen64, c, o, Transcript("t"), rng)
+
+    def test_mismatched_opening_refused(self, pedersen64, rng):
+        c, _ = pedersen64.commit_fresh(0, rng)
+        with pytest.raises(ParameterError):
+            prove_bit(pedersen64, c, Opening(0, 12345), Transcript("t"), rng)
+
+
+class TestSoundness:
+    def test_proof_bound_to_commitment(self, pedersen64, rng):
+        c1, o1 = pedersen64.commit_fresh(0, rng)
+        c2, _ = pedersen64.commit_fresh(1, rng)
+        proof = prove_bit(pedersen64, c1, o1, Transcript("t"), rng)
+        with pytest.raises(ProofRejected):
+            verify_bit(pedersen64, c2, proof, Transcript("t"))
+
+    def test_proof_bound_to_transcript_domain(self, pedersen64, rng):
+        c, o = pedersen64.commit_fresh(1, rng)
+        proof = prove_bit(pedersen64, c, o, Transcript("t1"), rng)
+        with pytest.raises(ProofRejected):
+            verify_bit(pedersen64, c, proof, Transcript("t2"))
+
+    @pytest.mark.parametrize("field", ["e0", "e1", "v0", "v1"])
+    def test_tampered_scalar_rejected(self, pedersen64, rng, field):
+        c, o = pedersen64.commit_fresh(0, rng)
+        proof = prove_bit(pedersen64, c, o, Transcript("t"), rng)
+        tampered = BitProof(
+            proof.d0,
+            proof.d1,
+            (proof.e0 + (field == "e0")) % pedersen64.q,
+            (proof.e1 + (field == "e1")) % pedersen64.q,
+            (proof.v0 + (field == "v0")) % pedersen64.q,
+            (proof.v1 + (field == "v1")) % pedersen64.q,
+        )
+        with pytest.raises(ProofRejected):
+            verify_bit(pedersen64, c, tampered, Transcript("t"))
+
+    def test_swapped_announcements_rejected(self, pedersen64, rng):
+        c, o = pedersen64.commit_fresh(0, rng)
+        proof = prove_bit(pedersen64, c, o, Transcript("t"), rng)
+        swapped = BitProof(proof.d1, proof.d0, proof.e0, proof.e1, proof.v0, proof.v1)
+        with pytest.raises(ProofRejected):
+            verify_bit(pedersen64, c, swapped, Transcript("t"))
+
+    def test_simulated_proof_fails_fs_verification(self, pedersen64, rng):
+        """A simulator-made proof (self-chosen challenge) does not pass the
+        Fiat-Shamir verifier — the challenge will not match the hash."""
+        c, _ = pedersen64.commit_fresh(5, rng)  # not even a bit
+        fake = simulate_bit_transcript(pedersen64, c, 123456, rng)
+        with pytest.raises(ProofRejected):
+            verify_bit(pedersen64, c, fake, Transcript("t"))
+
+    def test_batch_length_mismatch(self, pedersen64, rng):
+        c, o = pedersen64.commit_fresh(0, rng)
+        proof = prove_bit(pedersen64, c, o, Transcript("t"), rng)
+        with pytest.raises(ProofRejected):
+            verify_bits(pedersen64, [c, c], [proof], Transcript("t"))
+
+    def test_batch_order_is_bound(self, pedersen64):
+        """Reordering proofs within a batch breaks verification (shared
+        transcript chains the challenges)."""
+        rng = SeededRNG("ord")
+        cs, os_ = pedersen64.commit_vector([0, 1], rng)
+        proofs = prove_bits(pedersen64, cs, os_, Transcript("b"), rng)
+        with pytest.raises(ProofRejected):
+            verify_bits(pedersen64, [cs[1], cs[0]], [proofs[1], proofs[0]], Transcript("b"))
+
+
+class TestZeroKnowledge:
+    def test_branches_indistinguishable_structurally(self, pedersen64):
+        """Proofs for x=0 and x=1 have identical shapes and marginals;
+        here we check a necessary condition: all six fields are valid
+        group/field elements regardless of the witness bit."""
+        rng = SeededRNG("zk")
+        for bit in (0, 1):
+            c, o = pedersen64.commit_fresh(bit, rng)
+            proof = prove_bit(pedersen64, c, o, Transcript("t"), rng)
+            for scalar in (proof.e0, proof.e1, proof.v0, proof.v1):
+                assert 0 <= scalar < pedersen64.q
+
+    def test_simulator_accepts_for_given_challenge(self, pedersen64, rng):
+        """Interactive HVZK: for any fixed challenge the witness-free
+        simulator produces a transcript satisfying both verification
+        equations and the challenge split."""
+        c, _ = pedersen64.commit_fresh(1, rng)
+        e = 987654321 % pedersen64.q
+        proof = simulate_bit_transcript(pedersen64, c, e, rng)
+        assert (proof.e0 + proof.e1) % pedersen64.q == e
+        t0, t1 = branch_statements(pedersen64, c)
+        assert pedersen64.h ** proof.v0 == proof.d0 * (t0 ** proof.e0)
+        assert pedersen64.h ** proof.v1 == proof.d1 * (t1 ** proof.e1)
+
+    def test_simulator_works_for_any_commitment(self, pedersen64, rng):
+        """Perfect hiding: even a commitment to 42 has an accepting
+        interactive transcript — which is why soundness needs the
+        challenge to be unpredictable (Fiat-Shamir)."""
+        c, _ = pedersen64.commit_fresh(42, rng)
+        proof = simulate_bit_transcript(pedersen64, c, 7, rng)
+        t0, t1 = branch_statements(pedersen64, c)
+        assert pedersen64.h ** proof.v0 == proof.d0 * (t0 ** proof.e0)
+        assert pedersen64.h ** proof.v1 == proof.d1 * (t1 ** proof.e1)

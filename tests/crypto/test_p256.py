@@ -1,0 +1,128 @@
+"""NIST P-256 backend: domain parameters, laws, encoding, integration."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.p256 import P256Group
+from repro.errors import EncodingError, NotOnGroupError
+from repro.utils.rng import SeededRNG
+
+scalars = st.integers(min_value=0, max_value=2**130)
+
+
+@pytest.fixture(scope="module")
+def p256():
+    return P256Group.instance()
+
+
+class TestDomainParameters:
+    def test_generator_on_curve(self, p256):
+        x, y = p256.generator().affine()
+        # y^2 == x^3 - 3x + b mod p (checked inside _on_curve).
+        assert P256Group._on_curve(x, y)
+
+    def test_generator_order(self, p256):
+        assert p256.generator() ** p256.order == p256.identity()
+        assert p256.generator() ** 1 == p256.generator()
+
+    def test_known_2g(self, p256):
+        """2·G for P-256 (public test vector)."""
+        x, _ = (p256.generator() ** 2).affine()
+        assert x == 0x7CF27B188D034F7E8A52380304B51AC3C08969E277F21B35A60B48FC47669978
+
+    def test_order_is_prime(self, p256):
+        from repro.utils.numth import is_probable_prime
+
+        assert is_probable_prime(p256.order)
+
+
+class TestGroupLaws:
+    @given(a=scalars, b=scalars)
+    @settings(max_examples=8, deadline=None)
+    def test_exponent_addition(self, p256, a, b):
+        g = p256.generator()
+        assert (g ** a) * (g ** b) == g ** (a + b)
+
+    @given(a=scalars)
+    @settings(max_examples=8, deadline=None)
+    def test_inverse(self, p256, a):
+        x = p256.generator() ** a
+        assert x * ~x == p256.identity()
+
+    def test_identity_neutral(self, p256):
+        g = p256.generator()
+        assert g * p256.identity() == g
+        assert p256.identity().is_infinity()
+
+    def test_double_matches_add(self, p256):
+        g = p256.generator()
+        assert g.double() == g * g
+
+
+class TestEncoding:
+    @given(a=scalars)
+    @settings(max_examples=10, deadline=None)
+    def test_roundtrip(self, p256, a):
+        point = p256.generator() ** a
+        assert p256.from_bytes(point.to_bytes()) == point
+
+    def test_identity_roundtrip(self, p256):
+        assert p256.from_bytes(p256.identity().to_bytes()).is_infinity()
+
+    def test_compression_tag_checked(self, p256):
+        data = bytearray(p256.generator().to_bytes())
+        data[0] = 0x05
+        with pytest.raises(EncodingError):
+            p256.from_bytes(bytes(data))
+
+    def test_off_curve_x_rejected(self, p256):
+        # Find an x with no curve point (about half of all x).
+        for x in range(2, 50):
+            data = bytes([2]) + x.to_bytes(32, "big")
+            try:
+                p256.from_bytes(data)
+            except NotOnGroupError:
+                break
+        else:  # pragma: no cover
+            pytest.fail("no off-curve x found in range")
+
+    def test_wrong_length(self, p256):
+        with pytest.raises(EncodingError):
+            p256.from_bytes(b"\x02" * 10)
+
+
+class TestHashToGroup:
+    def test_on_curve_and_deterministic(self, p256):
+        h = p256.hash_to_group(b"pedersen-h")
+        assert p256.from_bytes(h.to_bytes()) == h
+        assert h == p256.hash_to_group(b"pedersen-h")
+        assert h != p256.hash_to_group(b"other")
+
+    def test_prime_order_subgroup(self, p256):
+        h = p256.hash_to_group(b"x")
+        assert h ** p256.order == p256.identity()
+
+
+class TestIntegration:
+    def test_pedersen_and_bit_proofs_over_p256(self, p256):
+        from repro.crypto.fiat_shamir import Transcript
+        from repro.crypto.pedersen import PedersenParams
+        from repro.crypto.sigma.or_bit import prove_bit, verify_bit
+
+        pp = PedersenParams(p256)
+        rng = SeededRNG("p256")
+        for bit in (0, 1):
+            c, o = pp.commit_fresh(bit, rng)
+            proof = prove_bit(pp, c, o, Transcript("t"), rng)
+            verify_bit(pp, c, proof, Transcript("t"))
+
+    def test_homomorphism_over_p256(self, p256):
+        from repro.crypto.pedersen import PedersenParams
+
+        pp = PedersenParams(p256)
+        lhs = pp.commit(3, 4) * pp.commit(5, 6)
+        assert lhs.element == pp.commit(8, 10).element
+
+    def test_multiexp_over_p256(self, p256):
+        g = p256.generator()
+        assert p256.multi_scale([g ** 2, g ** 3], [5, 4]) == g ** 22

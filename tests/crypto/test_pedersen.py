@@ -1,0 +1,118 @@
+"""Pedersen commitments: homomorphism, hiding/binding behaviour, openings."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.pedersen import Commitment, Opening, PedersenParams
+from repro.errors import CommitmentOpeningError
+from repro.utils.rng import SeededRNG
+
+values = st.integers(min_value=0, max_value=2**62)
+
+
+class TestCommitVerify:
+    @given(x=values, r=values)
+    @settings(max_examples=30)
+    def test_opens_to_its_own_opening(self, pedersen64, x, r):
+        c = pedersen64.commit(x, r)
+        pedersen64.verify_opening(c, Opening(x % pedersen64.q, r % pedersen64.q))
+
+    @given(x=values)
+    @settings(max_examples=25)
+    def test_commit_fresh(self, pedersen64, x):
+        c, o = pedersen64.commit_fresh(x, SeededRNG(f"f{x}"))
+        assert o.value == x % pedersen64.q
+        assert pedersen64.opens_to(c, o)
+
+    def test_wrong_value_rejected(self, pedersen64, rng):
+        c, o = pedersen64.commit_fresh(7, rng)
+        with pytest.raises(CommitmentOpeningError):
+            pedersen64.verify_opening(c, Opening(8, o.randomness))
+
+    def test_wrong_randomness_rejected(self, pedersen64, rng):
+        c, o = pedersen64.commit_fresh(7, rng)
+        assert not pedersen64.opens_to(c, Opening(7, (o.randomness + 1) % pedersen64.q))
+
+
+class TestHomomorphism:
+    @given(x1=values, r1=values, x2=values, r2=values)
+    @settings(max_examples=30)
+    def test_product_commits_to_sum(self, pedersen64, x1, r1, x2, r2):
+        """Definition 3, equation (2)."""
+        q = pedersen64.q
+        lhs = pedersen64.commit(x1, r1) * pedersen64.commit(x2, r2)
+        rhs = pedersen64.commit((x1 + x2) % q, (r1 + r2) % q)
+        assert lhs.element == rhs.element
+
+    @given(x=values, r=values, e=st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=25)
+    def test_power_commits_to_scalar_multiple(self, pedersen64, x, r, e):
+        q = pedersen64.q
+        assert (pedersen64.commit(x, r) ** e).element == pedersen64.commit(
+            (x * e) % q, (r * e) % q
+        ).element
+
+    def test_add_openings(self, pedersen64, rng):
+        cs, os_ = pedersen64.commit_vector([3, 4, 5], rng)
+        combined = pedersen64.add_openings(os_)
+        product = pedersen64.product(cs)
+        assert pedersen64.opens_to(product, combined)
+        assert combined.value == 12
+
+    def test_one_minus(self, pedersen64, rng):
+        """one_minus(Com(x, r)) == Com(1-x, -r) — the Line 12 update."""
+        q = pedersen64.q
+        for x in (0, 1):
+            c, o = pedersen64.commit_fresh(x, rng)
+            flipped = pedersen64.one_minus(c)
+            assert pedersen64.opens_to(
+                flipped, Opening((1 - x) % q, (-o.randomness) % q)
+            )
+
+    def test_one_minus_involution(self, pedersen64, rng):
+        c, _ = pedersen64.commit_fresh(1, rng)
+        assert pedersen64.one_minus(pedersen64.one_minus(c)).element == c.element
+
+
+class TestHiding:
+    def test_same_value_different_commitments(self, pedersen64):
+        """Fresh randomness makes commitments to equal values distinct."""
+        rng = SeededRNG("h")
+        seen = {pedersen64.commit_fresh(1, rng)[0].element.to_bytes() for _ in range(32)}
+        assert len(seen) == 32
+
+    def test_every_element_opens_to_any_value(self, pedersen64):
+        """Perfect hiding, constructively: any commitment can be explained
+        as any value given the right (unknown) randomness — demonstrated
+        via the trapdoor on the toy group in tests/analysis."""
+        c0 = pedersen64.commit(0, 5)
+        c1 = pedersen64.commit(1, 5)
+        assert c0.element != c1.element  # but both uniform over the group
+
+
+class TestParams:
+    def test_h_differs_from_g(self, pedersen64):
+        assert pedersen64.h != pedersen64.g
+        assert not pedersen64.h.is_identity()
+
+    def test_transcript_bytes_stable(self, pedersen64):
+        assert pedersen64.transcript_bytes() == pedersen64.transcript_bytes()
+
+    def test_different_h_labels(self, group64):
+        a = PedersenParams(group64, h_label=b"a")
+        b = PedersenParams(group64, h_label=b"b")
+        assert a.h != b.h
+
+    def test_commitment_to_constant(self, pedersen64):
+        assert pedersen64.commitment_to_constant(5).element == pedersen64.commit(5, 0).element
+
+    def test_ristretto_backend(self, ristretto):
+        """The commitment layer is backend-agnostic."""
+        pp = PedersenParams(ristretto)
+        c, o = pp.commit_fresh(42, SeededRNG("r"))
+        assert pp.opens_to(c, o)
+        assert (pp.commit(1, 2) * pp.commit(3, 4)).element == pp.commit(4, 6).element
+
+    def test_opening_addition_guard(self):
+        with pytest.raises(TypeError):
+            Opening(1, 2) + Opening(3, 4)

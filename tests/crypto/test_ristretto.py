@@ -1,0 +1,152 @@
+"""ristretto255: official test vectors, group laws, encoding validation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.ristretto import ELL, P, RistrettoGroup, sqrt_ratio_m1
+from repro.errors import EncodingError, NotOnGroupError
+from repro.utils.rng import SeededRNG
+
+# Small multiples of the generator, from the ristretto255 specification
+# (draft-irtf-cfrg-ristretto255-decaf448 appendix).
+GENERATOR_MULTIPLES = {
+    0: "0000000000000000000000000000000000000000000000000000000000000000",
+    1: "e2f2ae0a6abc4e71a884a961c500515f58e30b6aa582dd8db6a65945e08d2d76",
+    2: "6a493210f7499cd17fecb510ae0cea23a110e8d5b901f8acadd3095c73a3b919",
+}
+
+scalars = st.integers(min_value=0, max_value=2**130)
+
+
+class TestSpecVectors:
+    @pytest.mark.parametrize("k,expected", sorted(GENERATOR_MULTIPLES.items()))
+    def test_generator_multiples(self, ristretto, k, expected):
+        point = ristretto.generator() ** k
+        assert point.to_bytes().hex() == expected
+
+    def test_decode_spec_vectors(self, ristretto):
+        for k, encoded in GENERATOR_MULTIPLES.items():
+            if k == 0:
+                continue
+            point = ristretto.from_bytes(bytes.fromhex(encoded))
+            assert point == ristretto.generator() ** k
+
+    def test_order(self, ristretto):
+        assert ristretto.order == ELL
+        assert ristretto.generator() ** ELL == ristretto.identity()
+
+
+class TestGroupLaws:
+    @given(a=scalars, b=scalars)
+    @settings(max_examples=15, deadline=None)
+    def test_exponent_addition(self, ristretto, a, b):
+        g = ristretto.generator()
+        assert (g ** a) * (g ** b) == g ** (a + b)
+
+    @given(a=scalars)
+    @settings(max_examples=10, deadline=None)
+    def test_inverse(self, ristretto, a):
+        x = ristretto.generator() ** a
+        assert (x * ~x) == ristretto.identity()
+
+    @given(a=scalars)
+    @settings(max_examples=10, deadline=None)
+    def test_double_consistency(self, ristretto, a):
+        x = ristretto.generator() ** (a % ELL)
+        assert x.double() == x * x
+
+    @given(a=scalars)
+    @settings(max_examples=15, deadline=None)
+    def test_encode_decode_roundtrip(self, ristretto, a):
+        x = ristretto.generator() ** a
+        assert ristretto.from_bytes(x.to_bytes()) == x
+
+    def test_coset_equality(self, ristretto):
+        """Internally different representations of equal elements compare equal."""
+        g = ristretto.generator()
+        a = (g ** 7) * (g ** 5)
+        b = g ** 12
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a.to_bytes() == b.to_bytes()
+
+
+class TestEncodingValidation:
+    def test_wrong_length(self, ristretto):
+        with pytest.raises(EncodingError):
+            ristretto.from_bytes(b"\x00" * 31)
+
+    def test_non_canonical_rejected(self, ristretto):
+        # s >= p is non-canonical.
+        bad = (P + 1).to_bytes(32, "little")
+        with pytest.raises(NotOnGroupError):
+            ristretto.from_bytes(bad)
+
+    def test_negative_s_rejected(self, ristretto):
+        # s odd ("negative") encodings are invalid by construction.
+        bad = (1).to_bytes(32, "little")
+        with pytest.raises(NotOnGroupError):
+            ristretto.from_bytes(bad)
+
+    def test_random_strings_mostly_rejected(self, ristretto):
+        rng = SeededRNG("junk")
+        rejected = 0
+        for _ in range(20):
+            data = bytearray(rng.random_bytes(32))
+            data[31] &= 0x7F  # keep below 2^255 to hit the curve checks
+            data[0] &= 0xFE  # even (sign ok) — still must be on-curve
+            try:
+                ristretto.from_bytes(bytes(data))
+            except (NotOnGroupError, EncodingError):
+                rejected += 1
+        assert rejected >= 10  # at most ~1/2 of strings decode
+
+
+class TestHashToGroup:
+    def test_deterministic(self, ristretto):
+        assert ristretto.hash_to_group(b"x") == ristretto.hash_to_group(b"x")
+        assert ristretto.hash_to_group(b"x") != ristretto.hash_to_group(b"y")
+
+    def test_output_valid(self, ristretto):
+        h = ristretto.hash_to_group(b"pedersen")
+        assert ristretto.from_bytes(h.to_bytes()) == h
+        assert h ** ELL == ristretto.identity()
+
+    def test_from_uniform_bytes_requires_64(self, ristretto):
+        with pytest.raises(EncodingError):
+            ristretto.from_uniform_bytes(b"\x00" * 32)
+
+    def test_from_uniform_bytes_valid(self, ristretto):
+        rng = SeededRNG("u")
+        for _ in range(5):
+            point = ristretto.from_uniform_bytes(rng.random_bytes(64))
+            assert ristretto.from_bytes(point.to_bytes()) == point
+
+
+class TestSqrtRatio:
+    def test_square_case(self):
+        was_square, r = sqrt_ratio_m1(4, 1)
+        assert was_square
+        assert (r * r) % P == 4
+
+    def test_ratio_case(self):
+        u, v = 9, 4
+        was_square, r = sqrt_ratio_m1(u, v)
+        assert was_square
+        assert (v * r * r) % P == u
+
+    def test_zero(self):
+        was_square, r = sqrt_ratio_m1(0, 5)
+        assert was_square and r == 0
+
+    @given(st.integers(min_value=1, max_value=2**64))
+    @settings(max_examples=30)
+    def test_consistency(self, u):
+        was_square, r = sqrt_ratio_m1(u, 1)
+        if was_square:
+            assert (r * r) % P == u % P
+        else:
+            from repro.crypto.ristretto import SQRT_M1
+
+            assert (r * r) % P == (SQRT_M1 * u) % P
+        assert r % 2 == 0  # non-negative convention

@@ -1,0 +1,113 @@
+"""Schnorr PoK: completeness, soundness, special soundness, HVZK."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.fiat_shamir import Transcript
+from repro.crypto.sigma import schnorr_pok
+from repro.errors import ParameterError, ProofRejected
+from repro.utils.rng import SeededRNG
+
+witnesses = st.integers(min_value=0, max_value=2**62)
+
+
+class TestCompleteness:
+    @given(w=witnesses)
+    @settings(max_examples=25)
+    def test_honest_proof_verifies(self, group64, w):
+        g = group64.generator()
+        y = g ** w
+        proof = schnorr_pok.prove_dlog(group64, g, y, w, Transcript("t"), SeededRNG(f"w{w}"))
+        schnorr_pok.verify_dlog(group64, g, y, proof, Transcript("t"))
+
+    def test_alternative_base(self, group64, rng):
+        h = group64.hash_to_group(b"base")
+        w = group64.random_scalar(rng)
+        proof = schnorr_pok.prove_dlog(group64, h, h ** w, w, Transcript("t"), rng)
+        schnorr_pok.verify_dlog(group64, h, h ** w, proof, Transcript("t"))
+
+
+class TestSoundness:
+    def test_wrong_witness_rejected_at_prove(self, group64, rng):
+        g = group64.generator()
+        with pytest.raises(ParameterError):
+            schnorr_pok.prove_dlog(group64, g, g ** 5, 6, Transcript("t"), rng)
+
+    def test_proof_bound_to_statement(self, group64, rng):
+        g = group64.generator()
+        proof = schnorr_pok.prove_dlog(group64, g, g ** 5, 5, Transcript("t"), rng)
+        with pytest.raises(ProofRejected):
+            schnorr_pok.verify_dlog(group64, g, g ** 6, proof, Transcript("t"))
+
+    def test_proof_bound_to_transcript(self, group64, rng):
+        g = group64.generator()
+        proof = schnorr_pok.prove_dlog(group64, g, g ** 5, 5, Transcript("t1"), rng)
+        with pytest.raises(ProofRejected):
+            schnorr_pok.verify_dlog(group64, g, g ** 5, proof, Transcript("t2"))
+
+    def test_tampered_response_rejected(self, group64, rng):
+        g = group64.generator()
+        proof = schnorr_pok.prove_dlog(group64, g, g ** 5, 5, Transcript("t"), rng)
+        bad = schnorr_pok.SchnorrProof(proof.announcement, (proof.response + 1) % group64.order)
+        with pytest.raises(ProofRejected):
+            schnorr_pok.verify_dlog(group64, g, g ** 5, bad, Transcript("t"))
+
+    def test_transcript_context_binding(self, group64, rng):
+        """Pre-appending different context changes the challenge."""
+        g = group64.generator()
+        t1 = Transcript("t")
+        t1.append_int("ctx", 1)
+        proof = schnorr_pok.prove_dlog(group64, g, g ** 5, 5, t1, rng)
+        t2 = Transcript("t")
+        t2.append_int("ctx", 2)
+        with pytest.raises(ProofRejected):
+            schnorr_pok.verify_dlog(group64, g, g ** 5, proof, t2)
+
+
+class TestSpecialSoundness:
+    @given(w=witnesses)
+    @settings(max_examples=20)
+    def test_extractor_recovers_witness(self, group64, w):
+        """Two accepting transcripts with one announcement yield w."""
+        g = group64.generator()
+        y = g ** w
+        a, s = schnorr_pok.announce(group64, g, SeededRNG(f"x{w}"))
+        e1, e2 = 12345, 67890
+        z1 = schnorr_pok.respond(group64, s, w, e1)
+        z2 = schnorr_pok.respond(group64, s, w, e2)
+        assert schnorr_pok.check(group64, g, y, a, e1, z1)
+        assert schnorr_pok.check(group64, g, y, a, e2, z2)
+        assert schnorr_pok.extract_witness(group64, e1, z1, e2, z2) == w % group64.order
+
+    def test_equal_challenges_rejected(self, group64):
+        with pytest.raises(ParameterError):
+            schnorr_pok.extract_witness(group64, 5, 1, 5, 2)
+
+
+class TestHVZK:
+    def test_simulated_transcript_accepts(self, group64, rng):
+        """The simulator produces accepting transcripts without the witness."""
+        g = group64.generator()
+        y = g ** 987654321  # witness unknown to the simulator call
+        for e in (0, 1, 123456789):
+            a, z = schnorr_pok.simulate(group64, g, y, e, rng)
+            assert schnorr_pok.check(group64, g, y, a, e, z)
+
+    def test_simulated_distribution_matches_real(self, group64):
+        """Responses are uniform in both real and simulated transcripts
+        (perfect HVZK): compare coarse histograms of z mod 8."""
+        g = group64.generator()
+        w = 424242
+        y = g ** w
+        real, simulated = [], []
+        rng = SeededRNG("dist")
+        for i in range(200):
+            a, s = schnorr_pok.announce(group64, g, rng)
+            e = rng.field_element(group64.order)
+            real.append(schnorr_pok.respond(group64, s, w, e) % 8)
+            a2, z2 = schnorr_pok.simulate(group64, g, y, e, rng)
+            simulated.append(z2 % 8)
+        # Both should be near-uniform over 8 buckets.
+        for sample in (real, simulated):
+            counts = [sample.count(b) for b in range(8)]
+            assert max(counts) - min(counts) < 60

@@ -1,0 +1,121 @@
+"""Wire format roundtrips and tamper detection."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.fiat_shamir import Transcript
+from repro.crypto.serialization import (
+    decode_bit_proof,
+    decode_commitment,
+    decode_one_hot_proof,
+    decode_opening_proof,
+    decode_schnorr_proof,
+    encode_bit_proof,
+    encode_commitment,
+    encode_one_hot_proof,
+    encode_opening_proof,
+    encode_schnorr_proof,
+)
+from repro.crypto.sigma.onehot import prove_one_hot, verify_one_hot
+from repro.crypto.sigma.opening_pok import prove_opening, verify_opening
+from repro.crypto.sigma.or_bit import prove_bit, verify_bit
+from repro.crypto.sigma.schnorr_pok import prove_dlog, verify_dlog
+from repro.errors import EncodingError, NotOnGroupError
+from repro.utils.rng import SeededRNG
+
+
+class TestCommitmentRoundtrip:
+    @given(st.integers(min_value=0, max_value=2**40))
+    @settings(max_examples=20)
+    def test_roundtrip(self, pedersen64, x):
+        c, _ = pedersen64.commit_fresh(x, SeededRNG(f"c{x}"))
+        data = encode_commitment(c)
+        assert decode_commitment(pedersen64.group, data) == c
+
+    def test_garbage_rejected(self, pedersen64):
+        with pytest.raises((EncodingError, NotOnGroupError)):
+            decode_commitment(pedersen64.group, b"\x00" * 3)
+
+
+class TestBitProofRoundtrip:
+    @pytest.mark.parametrize("bit", [0, 1])
+    def test_roundtrip_and_still_verifies(self, pedersen64, bit):
+        rng = SeededRNG(f"bp{bit}")
+        c, o = pedersen64.commit_fresh(bit, rng)
+        proof = prove_bit(pedersen64, c, o, Transcript("t"), rng)
+        restored = decode_bit_proof(pedersen64.group, encode_bit_proof(proof))
+        assert restored == proof
+        verify_bit(pedersen64, c, restored, Transcript("t"))
+
+    def test_wrong_magic_rejected(self, pedersen64, rng):
+        c, o = pedersen64.commit_fresh(0, rng)
+        proof = prove_bit(pedersen64, c, o, Transcript("t"), rng)
+        data = bytearray(encode_bit_proof(proof))
+        data[10] ^= 0xFF  # corrupt inside the magic
+        with pytest.raises(EncodingError):
+            decode_bit_proof(pedersen64.group, bytes(data))
+
+    def test_truncated_rejected(self, pedersen64, rng):
+        c, o = pedersen64.commit_fresh(1, rng)
+        proof = prove_bit(pedersen64, c, o, Transcript("t"), rng)
+        data = encode_bit_proof(proof)
+        with pytest.raises(EncodingError):
+            decode_bit_proof(pedersen64.group, data[: len(data) // 2])
+
+    def test_cross_backend(self, ristretto):
+        from repro.crypto.pedersen import PedersenParams
+
+        pp = PedersenParams(ristretto)
+        rng = SeededRNG("rist")
+        c, o = pp.commit_fresh(1, rng)
+        proof = prove_bit(pp, c, o, Transcript("t"), rng)
+        restored = decode_bit_proof(ristretto, encode_bit_proof(proof))
+        verify_bit(pp, c, restored, Transcript("t"))
+
+
+class TestOneHotRoundtrip:
+    def test_roundtrip_and_verifies(self, pedersen64):
+        rng = SeededRNG("oh")
+        cs, os_ = pedersen64.commit_vector([0, 1, 0, 0], rng)
+        proof = prove_one_hot(pedersen64, cs, os_, Transcript("t"), rng)
+        restored = decode_one_hot_proof(pedersen64.group, encode_one_hot_proof(proof))
+        assert restored == proof
+        verify_one_hot(pedersen64, cs, restored, Transcript("t"))
+
+    def test_empty_rejected(self, pedersen64):
+        from repro.utils.encoding import encode_length_prefixed
+
+        with pytest.raises(EncodingError):
+            decode_one_hot_proof(
+                pedersen64.group, encode_length_prefixed(b"repro.onehot.v1")
+            )
+
+
+class TestSchnorrRoundtrip:
+    def test_roundtrip_and_verifies(self, group64):
+        rng = SeededRNG("sch")
+        g = group64.generator()
+        w = group64.random_scalar(rng)
+        proof = prove_dlog(group64, g, g ** w, w, Transcript("t"), rng)
+        restored = decode_schnorr_proof(group64, encode_schnorr_proof(proof))
+        assert restored == proof
+        verify_dlog(group64, g, g ** w, restored, Transcript("t"))
+
+
+class TestOpeningRoundtrip:
+    def test_roundtrip_and_verifies(self, pedersen64):
+        rng = SeededRNG("op")
+        c, o = pedersen64.commit_fresh(9, rng)
+        proof = prove_opening(pedersen64, c, o, Transcript("t"), rng)
+        restored = decode_opening_proof(pedersen64.group, encode_opening_proof(proof))
+        assert restored == proof
+        verify_opening(pedersen64, c, restored, Transcript("t"))
+
+    def test_arity_check(self, pedersen64):
+        from repro.utils.encoding import encode_length_prefixed
+
+        with pytest.raises(EncodingError):
+            decode_opening_proof(
+                pedersen64.group,
+                encode_length_prefixed(b"repro.opening.v1", b"x"),
+            )

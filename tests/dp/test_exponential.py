@@ -1,0 +1,84 @@
+"""Exponential mechanism and report-noisy-max."""
+
+import math
+
+import pytest
+
+from repro.dp.exponential import ExponentialMechanism, report_noisy_max
+from repro.errors import ParameterError
+from repro.utils.rng import SeededRNG
+
+
+class TestExponentialMechanism:
+    def test_probabilities_normalized(self):
+        mech = ExponentialMechanism(1.0)
+        probs = mech.selection_probabilities([10, 5, 1])
+        assert sum(probs) == pytest.approx(1.0)
+        assert probs[0] > probs[1] > probs[2]
+
+    def test_probability_ratio_matches_definition(self):
+        """Pr[a]/Pr[b] = exp(ε(u_a - u_b)/(2Δ)) exactly."""
+        mech = ExponentialMechanism(2.0, sensitivity=1.0)
+        probs = mech.selection_probabilities([7.0, 4.0])
+        assert probs[0] / probs[1] == pytest.approx(math.exp(2.0 * 3.0 / 2.0))
+
+    def test_select_prefers_high_utility(self):
+        mech = ExponentialMechanism(2.0)
+        rng = SeededRNG("em")
+        picks = [mech.select([20, 1, 1, 1], rng) for _ in range(200)]
+        assert picks.count(0) > 190
+
+    def test_select_near_uniform_for_equal_utilities(self):
+        mech = ExponentialMechanism(1.0)
+        rng = SeededRNG("eq")
+        picks = [mech.select([5, 5], rng) for _ in range(400)]
+        assert 120 < picks.count(0) < 280
+
+    def test_epsilon_zero_limit(self):
+        """Tiny ε ⇒ near-uniform regardless of utilities."""
+        mech = ExponentialMechanism(1e-9)
+        probs = mech.selection_probabilities([1000, 0])
+        assert probs[0] == pytest.approx(0.5, abs=1e-6)
+
+    def test_empirical_matches_exact(self):
+        mech = ExponentialMechanism(1.0)
+        utilities = [3.0, 2.0, 0.0]
+        exact = mech.selection_probabilities(utilities)
+        rng = SeededRNG("emp")
+        trials = 3000
+        counts = [0, 0, 0]
+        for _ in range(trials):
+            counts[mech.select(utilities, rng)] += 1
+        for i in range(3):
+            assert counts[i] / trials == pytest.approx(exact[i], abs=0.05)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            ExponentialMechanism(0.0)
+        with pytest.raises(ParameterError):
+            ExponentialMechanism(1.0, sensitivity=0)
+        with pytest.raises(ParameterError):
+            ExponentialMechanism(1.0).select([])
+
+    def test_numerical_stability_large_utilities(self):
+        mech = ExponentialMechanism(1.0)
+        probs = mech.selection_probabilities([1e6, 1e6 - 1])
+        assert sum(probs) == pytest.approx(1.0)
+
+
+class TestReportNoisyMax:
+    def test_clear_winner_usually_selected(self):
+        rng = SeededRNG("rnm")
+        picks = [report_noisy_max([100, 10, 5], 1.0, rng) for _ in range(100)]
+        assert picks.count(0) > 90
+
+    def test_low_epsilon_randomizes(self):
+        rng = SeededRNG("low")
+        picks = [report_noisy_max([11, 10], 0.01, rng) for _ in range(300)]
+        assert 60 < picks.count(1) < 240  # nearly a coin flip
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            report_noisy_max([], 1.0)
+        with pytest.raises(ParameterError):
+            report_noisy_max([1.0], 0.0)

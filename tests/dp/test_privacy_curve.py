@@ -1,0 +1,84 @@
+"""Exact hockey-stick privacy curves vs Lemma 2.1."""
+
+import math
+
+import pytest
+
+from repro.dp.binomial import coins_for_privacy, epsilon_for_coins
+from repro.dp.privacy_curve import exact_epsilon, hockey_stick_delta, privacy_profile
+from repro.errors import ParameterError
+
+
+class TestHockeyStick:
+    def test_delta_at_zero_epsilon_is_tv(self):
+        """δ(0) equals the total-variation distance between the shifts."""
+        nb = 40
+        delta0 = hockey_stick_delta(nb, 0.0)
+        # TV of Binomial vs its 1-shift = max-coupling mass = P(Z = mode)-ish;
+        # compute independently:
+        from repro.dp.smoothness import binomial_log_pmf
+
+        tv = 0.5 * sum(
+            abs(
+                math.exp(binomial_log_pmf(nb, z))
+                - (math.exp(binomial_log_pmf(nb, z - 1)) if z >= 1 else 0.0)
+            )
+            for z in range(nb + 2)
+        )
+        assert delta0 == pytest.approx(tv, abs=1e-9)
+
+    def test_monotone_decreasing_in_epsilon(self):
+        nb = 60
+        deltas = [hockey_stick_delta(nb, e) for e in (0.0, 0.2, 0.5, 1.0, 2.0)]
+        assert deltas == sorted(deltas, reverse=True)
+
+    def test_more_coins_more_privacy(self):
+        assert hockey_stick_delta(400, 0.5) < hockey_stick_delta(40, 0.5)
+
+    def test_larger_shift_leaks_more(self):
+        nb = 80
+        assert hockey_stick_delta(nb, 0.5, shift=3) >= hockey_stick_delta(nb, 0.5, shift=1)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            hockey_stick_delta(0, 1.0)
+        with pytest.raises(ParameterError):
+            hockey_stick_delta(10, -1.0)
+        with pytest.raises(ParameterError):
+            hockey_stick_delta(10, 1.0, shift=0)
+
+
+class TestLemmaSoundness:
+    def test_lemma_2_1_dominates_exact_curve(self):
+        """For nb calibrated by Lemma 2.1, the exact δ at the lemma's ε is
+        (far) below the target δ — the lemma is sound."""
+        for eps_target in (1.0, 2.0):
+            delta_target = 2**-8
+            nb = coins_for_privacy(eps_target, delta_target)
+            eps_claimed = epsilon_for_coins(nb, delta_target)
+            exact_delta = hockey_stick_delta(nb, eps_claimed)
+            assert exact_delta <= delta_target
+
+    def test_lemma_conservatism_quantified(self):
+        """The exact ε for the calibrated nb is several times smaller than
+        the lemma's — the protocol over-delivers privacy (equivalently,
+        far fewer coins would suffice; relevant to Table 1's costs)."""
+        delta = 2**-8
+        nb = coins_for_privacy(1.0, delta)
+        tight = exact_epsilon(nb, delta)
+        assert tight < 1.0 / 3.0
+
+    def test_exact_epsilon_consistent_with_delta(self):
+        nb, delta = 200, 1e-3
+        eps = exact_epsilon(nb, delta)
+        assert hockey_stick_delta(nb, eps) <= delta
+        assert hockey_stick_delta(nb, eps - 0.01) > delta
+
+    def test_profile_shape(self):
+        profile = privacy_profile(100, [0.1, 0.5, 1.0])
+        assert [p[0] for p in profile] == [0.1, 0.5, 1.0]
+        assert profile[0][1] > profile[2][1]
+
+    def test_exact_epsilon_validation(self):
+        with pytest.raises(ParameterError):
+            exact_epsilon(100, 0.0)

@@ -1,0 +1,49 @@
+"""Hash commitments used by Morra."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import CommitmentOpeningError
+from repro.mpc.commit import HashCommitmentScheme
+from repro.utils.rng import SeededRNG
+
+
+class TestHashCommitments:
+    @given(st.integers(min_value=0, max_value=2**64))
+    @settings(max_examples=30)
+    def test_roundtrip(self, value):
+        scheme = HashCommitmentScheme()
+        c, r = scheme.commit(value, SeededRNG(f"v{value}"))
+        scheme.verify(c, value, r)
+        assert scheme.opens_to(c, value, r)
+
+    def test_wrong_value_rejected(self):
+        scheme = HashCommitmentScheme()
+        c, r = scheme.commit(5, SeededRNG("w"))
+        with pytest.raises(CommitmentOpeningError):
+            scheme.verify(c, 6, r)
+
+    def test_wrong_randomness_rejected(self):
+        scheme = HashCommitmentScheme()
+        c, r = scheme.commit(5, SeededRNG("x"))
+        assert not scheme.opens_to(c, 5, b"\x00" * 32)
+
+    def test_hiding_different_randomness(self):
+        """Commitments to the same value are unlinkable across randomness."""
+        scheme = HashCommitmentScheme()
+        rng = SeededRNG("h")
+        digests = {scheme.commit(1, rng)[0].digest for _ in range(20)}
+        assert len(digests) == 20
+
+    def test_domain_separation(self):
+        a = HashCommitmentScheme(b"domain-a")
+        b = HashCommitmentScheme(b"domain-b")
+        _, r = a.commit(1, SeededRNG("d"))
+        ca = a._digest(1, r)
+        cb = b._digest(1, r)
+        assert ca != cb
+
+    def test_commitment_is_32_bytes(self):
+        c, _ = HashCommitmentScheme().commit(123, SeededRNG("l"))
+        assert len(c.digest) == 32
+        assert c.to_bytes() == c.digest

@@ -1,0 +1,74 @@
+"""Shamir sharing: thresholds, interpolation, linearity."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ParameterError
+from repro.sharing.shamir import ShamirShare, ShamirSharing
+from repro.utils.rng import SeededRNG
+
+Q = 2**61 - 1
+
+
+class TestShamir:
+    @given(
+        value=st.integers(min_value=0, max_value=Q - 1),
+        threshold=st.integers(min_value=1, max_value=4),
+        extra=st.integers(min_value=0, max_value=3),
+    )
+    @settings(max_examples=30)
+    def test_roundtrip(self, value, threshold, extra):
+        parties = threshold + extra
+        scheme = ShamirSharing(threshold, parties, Q)
+        shares = scheme.share(value, SeededRNG(f"{value}-{threshold}-{extra}"))
+        assert scheme.reconstruct(shares) == value
+
+    def test_any_threshold_subset_reconstructs(self):
+        scheme = ShamirSharing(3, 5, Q)
+        shares = scheme.share(777, SeededRNG("sub"))
+        for subset in itertools.combinations(shares, 3):
+            assert scheme.reconstruct(list(subset)) == 777
+
+    def test_below_threshold_rejected(self):
+        scheme = ShamirSharing(3, 5, Q)
+        shares = scheme.share(777, SeededRNG("below"))
+        with pytest.raises(ParameterError):
+            scheme.reconstruct(shares[:2])
+
+    def test_duplicate_indices_do_not_count(self):
+        scheme = ShamirSharing(2, 3, Q)
+        shares = scheme.share(5, SeededRNG("dup"))
+        with pytest.raises(ParameterError):
+            scheme.reconstruct([shares[0], shares[0]])
+
+    def test_linearity(self):
+        scheme = ShamirSharing(2, 3, Q)
+        a = scheme.share(100, SeededRNG("a"))
+        b = scheme.share(23, SeededRNG("b"))
+        summed = scheme.add_shares(a, b)
+        assert scheme.reconstruct(summed) == 123
+
+    def test_add_misaligned_rejected(self):
+        scheme = ShamirSharing(2, 3, Q)
+        a = scheme.share(1, SeededRNG("a"))
+        b = [ShamirShare(s.index + 1, s.value) for s in scheme.share(2, SeededRNG("b"))]
+        with pytest.raises(ParameterError):
+            scheme.add_shares(a, b[: len(a)])
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ParameterError):
+            ShamirSharing(0, 3, Q)
+        with pytest.raises(ParameterError):
+            ShamirSharing(4, 3, Q)
+        with pytest.raises(ParameterError):
+            ShamirSharing(2, 7, 5)  # field too small
+
+    def test_below_threshold_shares_hide(self):
+        """t-1 shares of different secrets look alike: compare share-1
+        marginals for two different secrets (coarse spread check)."""
+        scheme = ShamirSharing(2, 2, Q)
+        rng = SeededRNG("hide")
+        ones = {scheme.share(0, rng)[0].value % 1000 for _ in range(60)}
+        assert len(ones) > 40  # spread out, not concentrated

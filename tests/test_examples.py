@@ -1,0 +1,28 @@
+"""Every example script must run clean (they contain their own asserts)."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_exist():
+    names = {p.stem for p in EXAMPLES}
+    assert {"quickstart", "election_mpc", "telemetry_attacks",
+            "audit_and_separation", "screen_time_sums"} <= names
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, f"{script.name} failed:\n{result.stderr[-2000:]}"
+    assert result.stdout.strip(), f"{script.name} produced no output"

@@ -1,0 +1,68 @@
+"""Canonical encodings: injectivity and roundtrips."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import EncodingError
+from repro.utils.encoding import (
+    byte_length,
+    bytes_to_int,
+    decode_length_prefixed,
+    encode_length_prefixed,
+    int_to_bytes,
+)
+
+
+class TestIntBytes:
+    @given(st.integers(min_value=0, max_value=2**256))
+    def test_roundtrip(self, n):
+        assert bytes_to_int(int_to_bytes(n)) == n
+
+    @given(st.integers(min_value=0, max_value=2**64 - 1))
+    def test_fixed_width_roundtrip(self, n):
+        data = int_to_bytes(n, 8)
+        assert len(data) == 8
+        assert bytes_to_int(data) == n
+
+    def test_negative_rejected(self):
+        with pytest.raises(EncodingError):
+            int_to_bytes(-1)
+
+    def test_overflow_rejected(self):
+        with pytest.raises(EncodingError):
+            int_to_bytes(256, 1)
+
+    def test_zero(self):
+        assert int_to_bytes(0) == b"\x00"
+        assert byte_length(0) == 1
+
+    @given(st.integers(min_value=1, max_value=2**128))
+    def test_byte_length_minimal(self, n):
+        assert len(int_to_bytes(n)) == byte_length(n)
+        assert int_to_bytes(n)[0] != 0 or n == 0
+
+
+class TestLengthPrefixed:
+    @given(st.lists(st.binary(max_size=64), max_size=8))
+    def test_roundtrip(self, parts):
+        assert decode_length_prefixed(encode_length_prefixed(*parts)) == parts
+
+    @given(
+        st.lists(st.binary(max_size=32), max_size=4),
+        st.lists(st.binary(max_size=32), max_size=4),
+    )
+    def test_injective(self, a, b):
+        """Different part lists never encode to the same bytes."""
+        if a != b:
+            assert encode_length_prefixed(*a) != encode_length_prefixed(*b)
+
+    def test_truncated_prefix_rejected(self):
+        with pytest.raises(EncodingError):
+            decode_length_prefixed(b"\x00\x00\x01")
+
+    def test_truncated_payload_rejected(self):
+        with pytest.raises(EncodingError):
+            decode_length_prefixed(b"\x00\x00\x00\x05ab")
+
+    def test_empty(self):
+        assert decode_length_prefixed(b"") == []

@@ -1,0 +1,95 @@
+"""Randomness sources: determinism, bounds, independence."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ParameterError
+from repro.utils.rng import SeededRNG, SystemRNG, default_rng
+
+
+class TestSeededRNG:
+    def test_deterministic(self):
+        a = SeededRNG("seed").random_bytes(64)
+        b = SeededRNG("seed").random_bytes(64)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        assert SeededRNG("a").random_bytes(32) != SeededRNG("b").random_bytes(32)
+
+    def test_int_and_bytes_seeds(self):
+        assert SeededRNG(42).random_bytes(8) == SeededRNG(42).random_bytes(8)
+        assert SeededRNG(b"x").random_bytes(8) == SeededRNG(b"x").random_bytes(8)
+
+    def test_fork_is_independent(self):
+        parent = SeededRNG("p")
+        child1 = parent.fork("a")
+        child2 = parent.fork("b")
+        assert child1.random_bytes(16) != child2.random_bytes(16)
+
+    def test_fork_does_not_disturb_parent(self):
+        p1 = SeededRNG("p")
+        p2 = SeededRNG("p")
+        p1.fork("child")
+        assert p1.random_bytes(16) == p2.random_bytes(16)
+
+    def test_stream_continuation(self):
+        one = SeededRNG("s")
+        two = SeededRNG("s")
+        combined = one.random_bytes(10) + one.random_bytes(10)
+        assert combined == two.random_bytes(20)
+
+
+class TestBounds:
+    @given(st.integers(min_value=1, max_value=2**64))
+    def test_randbelow_in_range(self, bound):
+        rng = SeededRNG(f"b{bound}")
+        for _ in range(5):
+            assert 0 <= rng.randbelow(bound) < bound
+
+    @given(st.integers(min_value=1, max_value=256))
+    def test_randbits_width(self, bits):
+        assert 0 <= SeededRNG("w").randbits(bits) < (1 << bits)
+
+    def test_randrange(self):
+        rng = SeededRNG("r")
+        for _ in range(20):
+            assert 5 <= rng.randrange(5, 10) < 10
+
+    def test_invalid_args(self):
+        rng = SeededRNG("x")
+        with pytest.raises(ParameterError):
+            rng.randbelow(0)
+        with pytest.raises(ParameterError):
+            rng.randbits(0)
+        with pytest.raises(ParameterError):
+            rng.randrange(3, 3)
+
+    def test_nonzero_field_element(self):
+        rng = SeededRNG("nz")
+        for _ in range(50):
+            assert 1 <= rng.nonzero_field_element(7) < 7
+
+    def test_coin_distribution(self):
+        rng = SeededRNG("coins")
+        flips = [rng.coin() for _ in range(2000)]
+        assert 800 < sum(flips) < 1200  # ~14 sigma window
+
+
+class TestShuffle:
+    def test_shuffle_is_permutation(self):
+        rng = SeededRNG("sh")
+        items = list(range(30))
+        shuffled = items[:]
+        rng.shuffle(shuffled)
+        assert sorted(shuffled) == items
+        assert shuffled != items  # astronomically unlikely to be identity
+
+
+class TestSystemRNG:
+    def test_produces_requested_bytes(self):
+        assert len(SystemRNG().random_bytes(17)) == 17
+
+    def test_default_rng(self):
+        assert isinstance(default_rng(None), SystemRNG)
+        marker = SeededRNG("m")
+        assert default_rng(marker) is marker

@@ -1,0 +1,56 @@
+"""Stopwatch and stage timers."""
+
+import time
+
+import pytest
+
+from repro.utils.timing import StageTimer, Stopwatch
+
+
+class TestStopwatch:
+    def test_accumulates(self):
+        sw = Stopwatch()
+        with sw.running():
+            time.sleep(0.01)
+        with sw.running():
+            time.sleep(0.01)
+        assert sw.elapsed >= 0.02
+
+    def test_stop_without_start_raises(self):
+        with pytest.raises(RuntimeError):
+            Stopwatch().stop()
+
+
+class TestStageTimer:
+    def test_stage_accumulates_by_name(self):
+        t = StageTimer()
+        with t.stage("a"):
+            time.sleep(0.005)
+        with t.stage("a"):
+            time.sleep(0.005)
+        with t.stage("b"):
+            pass
+        assert t.stages["a"] >= 0.01
+        assert "b" in t.stages
+        assert t.total() >= t.stages["a"]
+
+    def test_milliseconds(self):
+        t = StageTimer()
+        t.add("x", 0.25)
+        assert t.milliseconds()["x"] == pytest.approx(250.0)
+
+    def test_merge(self):
+        a = StageTimer()
+        a.add("x", 1.0)
+        b = StageTimer()
+        b.add("x", 2.0)
+        b.add("y", 3.0)
+        a.merge(b)
+        assert a.stages == {"x": 3.0, "y": 3.0}
+
+    def test_exception_still_records(self):
+        t = StageTimer()
+        with pytest.raises(ValueError):
+            with t.stage("boom"):
+                raise ValueError
+        assert "boom" in t.stages

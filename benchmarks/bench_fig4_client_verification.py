@@ -40,6 +40,51 @@ def test_sigma_onehot_verify(benchmark, params_128, m):
 
 
 @pytest.mark.parametrize("m", DIMENSIONS)
+def test_sigma_onehot_verify_batched(benchmark, params_128, m):
+    """The verifier's actual path: one-hot validation via SigmaBatch."""
+    from repro.crypto.sigma.batch import batch_verify_one_hot
+
+    rng = SeededRNG(f"f4b{m}")
+    cs, os_ = params_128.pedersen.commit_vector(one_hot(m), rng)
+    proof = prove_one_hot(params_128.pedersen, cs, os_, Transcript("f4"), rng)
+    benchmark(
+        lambda: batch_verify_one_hot(
+            params_128.pedersen, cs, proof, Transcript("f4"), rng
+        )
+    )
+
+
+def test_batched_client_validation_wins_at_scale(params_128):
+    """Cross-client aggregation: 64 clients' one-hot proofs, one multiexp."""
+    import time
+
+    from repro.crypto.sigma.batch import SigmaBatch
+
+    m, n_clients = 8, 64
+    rng = SeededRNG("f4x")
+    clients = []
+    for i in range(n_clients):
+        cs, os_ = params_128.pedersen.commit_vector(one_hot(m), rng)
+        proof = prove_one_hot(params_128.pedersen, cs, os_, Transcript(f"c{i}"), rng)
+        clients.append((cs, proof))
+
+    start = time.perf_counter()
+    for i, (cs, proof) in enumerate(clients):
+        verify_one_hot(params_128.pedersen, cs, proof, Transcript(f"c{i}"))
+    sequential = time.perf_counter() - start
+
+    start = time.perf_counter()
+    batch = SigmaBatch(params_128.pedersen, SeededRNG("g"))
+    for i, (cs, proof) in enumerate(clients):
+        batch.add_one_hot(cs, proof, Transcript(f"c{i}"))
+    batch.verify()
+    batched = time.perf_counter() - start
+    assert batched * 3 < sequential, (
+        f"batched {batched * 1e3:.1f}ms vs sequential {sequential * 1e3:.1f}ms"
+    )
+
+
+@pytest.mark.parametrize("m", DIMENSIONS)
 def test_sketch_validate(benchmark, params_128, m):
     sketch = OneHotSketch(m, params_128.q)
     packages = sketch.client_prepare(one_hot(m), SeededRNG(f"f4s{m}"))

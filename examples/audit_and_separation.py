@@ -35,7 +35,10 @@ def third_party_replay() -> None:
     # (In this simulation we reconstruct the broadcasts by re-running the
     # deterministic clients; on a real deployment they are on the bulletin
     # board.)
-    replica = PublicVerifier(params, SeededRNG("auditor"), name="newspaper")
+    # batch=False: an auditor whose RNG is public (it must be, for anyone
+    # to reproduce the verdicts) cannot rely on the random-linear-
+    # combination batch — its weights would be predictable to a forger.
+    replica = PublicVerifier(params, SeededRNG("auditor"), name="newspaper", batch=False)
     protocol2 = VerifiableBinomialProtocol(
         params, verifier=replica, rng=SeededRNG("audit")
     )

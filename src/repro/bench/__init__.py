@@ -18,6 +18,8 @@ from repro.bench.runner import (
     run_comm,
     run_attacks,
     run_separation,
+    run_multiexp,
+    write_bench_json,
     EXPERIMENTS,
 )
 
@@ -33,5 +35,7 @@ __all__ = [
     "run_comm",
     "run_attacks",
     "run_separation",
+    "run_multiexp",
+    "write_bench_json",
     "EXPERIMENTS",
 ]

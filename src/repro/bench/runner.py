@@ -8,8 +8,10 @@ and the linear extrapolation to the paper's stated sizes.  Set
 
 from __future__ import annotations
 
+import json
 import os
 import time
+from pathlib import Path
 
 from repro.analysis.error import empirical_error
 from repro.attacks import (
@@ -49,6 +51,8 @@ __all__ = [
     "run_comm",
     "run_attacks",
     "run_separation",
+    "run_multiexp",
+    "write_bench_json",
     "EXPERIMENTS",
 ]
 
@@ -402,8 +406,76 @@ def run_separation(*, seed: str = "separation") -> list[dict]:
     ]
 
 
+def write_bench_json(name: str, rows: list[dict]) -> Path:
+    """Persist experiment rows as ``BENCH_<name>.json``.
+
+    The file lands in ``REPRO_BENCH_DIR`` (default: the current working
+    directory, i.e. the repo root when run via ``python -m repro``), and
+    is the checked-in evidence format for perf-sensitive changes.
+    """
+    directory = Path(os.environ.get("REPRO_BENCH_DIR", "."))
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"BENCH_{name}.json"
+    path.write_text(json.dumps({"bench": name, "rows": rows}, indent=2) + "\n")
+    return path
+
+
+def run_multiexp(
+    *,
+    sizes: tuple[int, ...] = (1, 2, 4, 8, 16, 32, 64, 256, 1024, 4096),
+    wide_sizes: tuple[int, ...] = (2, 8, 32),
+    seed: str = "multiexp",
+    emit_json: bool = True,
+) -> list[dict]:
+    """Multiexp tier crossover: naive vs Straus-wNAF vs Pippenger.
+
+    Times all three tiers per batch size on the 128-bit Schnorr
+    simulation group (plus a few sizes on production modp-2048), reports
+    the automatic selection, and emits ``BENCH_multiexp.json`` — the
+    regression evidence behind the verifier's batched hot path.
+    """
+    from repro.crypto.multiexp import multi_exponentiation, select_algorithm
+
+    rows: list[dict] = []
+    for group_name, group_sizes, budget in (
+        ("p128-sim", sizes, 256),
+        ("modp-2048", wide_sizes, 2),
+    ):
+        group = SchnorrGroup.named(group_name)
+        kernel = group.multiexp_kernel()
+        rng = SeededRNG(f"{seed}-{group_name}")
+        for n in group_sizes:
+            bases = [group.random_element(rng) for _ in range(n)]
+            exps = [rng.field_element(group.order) for _ in range(n)]
+            bits = max((e.bit_length() for e in exps), default=1)
+            row: dict = {
+                "group": group_name,
+                "n": n,
+                "selected": select_algorithm(
+                    n,
+                    bits,
+                    native_pow=kernel.native_pow,
+                    op_overhead=kernel.op_overhead,
+                ),
+            }
+            for algorithm in ("naive", "straus", "pippenger"):
+                reps = max(1, budget // n)
+                start = time.perf_counter()
+                for _ in range(reps):
+                    multi_exponentiation(group, bases, exps, algorithm=algorithm)
+                row[f"{algorithm}_ms"] = (time.perf_counter() - start) / reps * 1e3
+            row["speedup_vs_naive"] = row["naive_ms"] / max(
+                min(row["straus_ms"], row["pippenger_ms"]), 1e-9
+            )
+            rows.append(row)
+    if emit_json:
+        write_bench_json("multiexp", rows)
+    return rows
+
+
 EXPERIMENTS = {
     "table1": run_table1,
+    "multiexp": run_multiexp,
     "fig3": run_fig3,
     "fig4": run_fig4,
     "table2": run_table2,

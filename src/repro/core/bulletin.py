@@ -37,7 +37,7 @@ from repro.crypto.serialization import (
     decode_commitment,
     decode_one_hot_proof,
     encode_bit_proof,
-    encode_commitment,
+    encode_commitments,
     encode_one_hot_proof,
 )
 from repro.crypto.sigma.or_bit import BitProof
@@ -81,7 +81,7 @@ class BulletinBoard:
 def _encode_client_broadcast(broadcast: ClientBroadcast) -> bytes:
     rows = []
     for row in broadcast.share_commitments:
-        rows.append(encode_length_prefixed(*[encode_commitment(c) for c in row]))
+        rows.append(encode_length_prefixed(*encode_commitments(row)))
     if isinstance(broadcast.validity_proof, BitProof):
         proof = encode_length_prefixed(b"bit", encode_bit_proof(broadcast.validity_proof))
     else:
@@ -118,7 +118,7 @@ def _encode_coin_message(message: CoinCommitmentMessage) -> bytes:
     for c_row, p_row in zip(message.commitments, message.proofs):
         rows.append(
             encode_length_prefixed(
-                *[encode_commitment(c) for c in c_row],
+                *encode_commitments(c_row),
                 *[encode_bit_proof(p) for p in p_row],
             )
         )
@@ -211,7 +211,14 @@ def replay_audit(params: PublicParams, board: BulletinBoard):
     """
     from repro.core.prover import broadcast_context_digest
 
-    auditor = PublicVerifier(params, SeededRNG("replay-auditor"), name="auditor")
+    # batch=False: the batched path's random-linear-combination weights
+    # are only sound when unpredictable to the proof author, and a replay
+    # auditor's RNG is public by construction (anyone must be able to
+    # reproduce the verdicts).  Sequential verification is exact — no
+    # soundness slack — and byte-for-byte deterministic.
+    auditor = PublicVerifier(
+        params, SeededRNG("replay-auditor"), name="auditor", batch=False
+    )
 
     broadcasts = [
         _decode_client_broadcast(params, e.payload)

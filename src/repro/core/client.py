@@ -73,14 +73,21 @@ class Client(Party):
         q = params.q
         shares_km: list[list[int]] = [[] for _ in range(k_provers)]
         openings_km: list[list[Opening]] = [[] for _ in range(k_provers)]
-        commitments_km: list[list[Commitment]] = [[] for _ in range(k_provers)]
+        flat: list[tuple[int, Opening]] = []  # (prover index, opening)
         for value in self.vector:
             shares = share_additive(value, k_provers, q, self.rng)
             for k, share in enumerate(shares):
-                c, o = params.pedersen.commit_fresh(share, self.rng)
+                opening = Opening(share % q, self.rng.field_element(q))
                 shares_km[k].append(share)
-                openings_km[k].append(o)
-                commitments_km[k].append(c)
+                openings_km[k].append(opening)
+                flat.append((k, opening))
+        # One fused commit pass over every (prover, coordinate) share.
+        flat_commitments = params.pedersen.commit_many(
+            [o.value for _, o in flat], [o.randomness for _, o in flat]
+        )
+        commitments_km: list[list[Commitment]] = [[] for _ in range(k_provers)]
+        for (k, _), commitment in zip(flat, flat_commitments):
+            commitments_km[k].append(commitment)
         return shares_km, openings_km, commitments_km
 
     def _validity_proof(

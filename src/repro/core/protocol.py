@@ -154,16 +154,17 @@ class VerifiableBinomialProtocol:
 
         context = broadcast_context_digest(broadcasts)
 
-        # Phase 4: coin commitments + Σ-OR proofs (Lines 4-6).
-        coin_ok: dict[str, bool] = {}
+        # Phase 4: coin commitments + Σ-OR proofs (Lines 4-6).  All
+        # provers commit first so the verifier can fold every coin proof
+        # into one cross-prover batch (a single multi-exponentiation).
         coin_messages = []
         for prover in self.provers:
             with timer.stage(STAGE_SIGMA_PROOF):
                 message = prover.commit_coins(context)
             coin_messages.append(message)
             network.broadcast(prover.name, message)
-            with timer.stage(STAGE_SIGMA_VERIFY):
-                coin_ok[prover.name] = self.verifier.verify_coin_commitments(message, context)
+        with timer.stage(STAGE_SIGMA_VERIFY):
+            coin_ok = self.verifier.verify_all_coin_commitments(coin_messages, context)
 
         # Phase 5: Morra public bits per prover (Lines 7-8), then Line 12.
         public_bits: dict[str, list[list[int]]] = {}

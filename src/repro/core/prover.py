@@ -121,26 +121,38 @@ class Prover(MorraParticipant):
         return self.rng.coin()
 
     def commit_coins(self, context: bytes) -> CoinCommitmentMessage:
-        """Commit to nb × M private coins and prove each is a bit."""
+        """Commit to nb × M private coins and prove each is a bit.
+
+        All nb·M commitments go through one fused
+        :meth:`~repro.crypto.pedersen.PedersenParams.commit_many` pass
+        (shared comb tables, interleaved g/h digits); the Σ-OR proofs are
+        then produced over the shared transcript in the same order.
+        """
         params = self.params
+        pedersen = params.pedersen
+        q = params.q
         transcript = coin_transcript(params, self.name, context)
-        commitments: list[list[Commitment]] = []
-        openings: list[list[Opening]] = []
-        proofs: list[list[BitProof]] = []
-        for j in range(params.nb):
-            c_row: list[Commitment] = []
-            o_row: list[Opening] = []
-            p_row: list[BitProof] = []
-            for m in range(params.dimension):
-                coin = self.choose_coin(j, m)
-                c, o = params.pedersen.commit_fresh(coin, self.rng)
-                proof = self._prove_coin(c, o, transcript)
-                c_row.append(c)
-                o_row.append(o)
-                p_row.append(proof)
-            commitments.append(c_row)
-            openings.append(o_row)
-            proofs.append(p_row)
+        flat_openings = [
+            Opening(self.choose_coin(j, m) % q, self.rng.field_element(q))
+            for j in range(params.nb)
+            for m in range(params.dimension)
+        ]
+        flat_commitments = pedersen.commit_many(
+            [o.value for o in flat_openings],
+            [o.randomness for o in flat_openings],
+        )
+        d = params.dimension
+        commitments = [
+            flat_commitments[j * d : (j + 1) * d] for j in range(params.nb)
+        ]
+        openings = [flat_openings[j * d : (j + 1) * d] for j in range(params.nb)]
+        proofs: list[list[BitProof]] = [
+            [
+                self._prove_coin(c, o, transcript)
+                for c, o in zip(c_row, o_row)
+            ]
+            for c_row, o_row in zip(commitments, openings)
+        ]
         self._coin_commitments = commitments
         self._coin_openings = openings
         return CoinCommitmentMessage(

@@ -14,6 +14,15 @@ coin, or any commitment opening other than the aggregate (y_k, z_k).  It:
 Because all five steps consume only public messages, *anyone* can replay
 them: the audit record produced here is reproducible by third parties,
 which is the "publicly auditable" property of Table 2.
+
+Verification is **batched by default**: all Σ-OR equations — every
+prover's nb coin proofs and every client's validity proof — are folded
+into a :class:`repro.crypto.sigma.batch.SigmaBatch` random linear
+combination and checked with one Pippenger multi-exponentiation.  A batch
+rejection cannot name the cheater, so on failure the verifier replays
+the sequential per-proof path to pinpoint (and audit-record) exactly
+which proof failed; construct with ``batch=False`` to force the
+sequential path throughout (the ablation benchmarks do).
 """
 
 from __future__ import annotations
@@ -30,11 +39,12 @@ from repro.core.messages import (
 from repro.core.params import PublicParams
 from repro.core.prover import coin_transcript
 from repro.crypto.pedersen import Commitment
+from repro.crypto.sigma.batch import GAMMA_BITS, SigmaBatch
 from repro.crypto.sigma.onehot import OneHotProof, verify_one_hot
 from repro.crypto.sigma.or_bit import BitProof, verify_bit
 from repro.errors import VerificationError
 from repro.mpc.morra import MorraParticipant
-from repro.utils.rng import RNG
+from repro.utils.rng import RNG, SystemRNG
 
 __all__ = ["PublicVerifier"]
 
@@ -42,9 +52,25 @@ __all__ = ["PublicVerifier"]
 class PublicVerifier(MorraParticipant):
     """The (honest) public verifier / analyst."""
 
-    def __init__(self, params: PublicParams, rng: RNG | None = None, *, name: str = "verifier") -> None:
+    def __init__(
+        self,
+        params: PublicParams,
+        rng: RNG | None = None,
+        *,
+        name: str = "verifier",
+        batch: bool = True,
+        gamma_rng: RNG | None = None,
+    ) -> None:
         super().__init__(name, rng)
         self.params = params
+        self.batch = batch
+        # Batch RLC weights must be unpredictable to proof authors even
+        # when ``rng`` is a seeded simulation stream (a predictable γ
+        # stream lets two tampered proofs cancel — see the batch module
+        # docstring), so they come from a dedicated source that defaults
+        # to system randomness.  Auditors replaying with a *public* RNG
+        # must use ``batch=False`` instead.
+        self.gamma_rng = gamma_rng if gamma_rng is not None else SystemRNG()
         self.audit = AuditRecord()
         # Adjusted coin-commitment products per prover, filled in phase 4.
         self._coin_messages: dict[str, CoinCommitmentMessage] = {}
@@ -53,28 +79,34 @@ class PublicVerifier(MorraParticipant):
     # Phase 1: client validation (Line 3) -----------------------------------
 
     def validate_client(self, broadcast: ClientBroadcast) -> ClientStatus:
-        """Check shape and the validity proof of one client submission."""
+        """Check shape and the validity proof of one client submission.
+
+        This is the sequential path; it stays authoritative so a failed
+        batch can always be replayed proof by proof.
+        """
         params = self.params
-        expected_shape = (
-            len(broadcast.share_commitments) == params.num_provers
-            and all(len(row) == params.dimension for row in broadcast.share_commitments)
-        )
-        if not expected_shape:
+        if not self._client_shape_ok(broadcast):
             return ClientStatus.INVALID_PROOF
         derived = broadcast.derived_commitments()
         transcript = _client_transcript(params, broadcast.client_id)
         try:
             if params.dimension == 1:
-                if not isinstance(broadcast.validity_proof, BitProof):
-                    return ClientStatus.INVALID_PROOF
                 verify_bit(params.pedersen, derived[0], broadcast.validity_proof, transcript)
             else:
-                if not isinstance(broadcast.validity_proof, OneHotProof):
-                    return ClientStatus.INVALID_PROOF
                 verify_one_hot(params.pedersen, derived, broadcast.validity_proof, transcript)
         except VerificationError:
             return ClientStatus.INVALID_PROOF
         return ClientStatus.VALID
+
+    def _client_shape_ok(self, broadcast: ClientBroadcast) -> bool:
+        params = self.params
+        if not (
+            len(broadcast.share_commitments) == params.num_provers
+            and all(len(row) == params.dimension for row in broadcast.share_commitments)
+        ):
+            return False
+        expected_proof = BitProof if params.dimension == 1 else OneHotProof
+        return isinstance(broadcast.validity_proof, expected_proof)
 
     def validate_clients(
         self,
@@ -83,14 +115,22 @@ class PublicVerifier(MorraParticipant):
     ) -> list[str]:
         """Validate all clients; returns ids of included clients.
 
+        With batching enabled every client's validity proof is folded
+        into one cross-client random linear combination (a single
+        multi-exponentiation); a rejection replays the per-client path so
+        the audit record still names each invalid client individually.
+
         ``complaints`` maps prover name → client ids whose private opening
         failed that prover's check; such clients are excluded with status
         BAD_OPENING (the public record resolving Figure 1's ambiguity).
         """
+        if self.batch:
+            statuses = self._validate_clients_batched(broadcasts)
+        else:
+            statuses = [self.validate_client(broadcast) for broadcast in broadcasts]
         complained = {cid for cids in (complaints or {}).values() for cid in cids}
         valid: list[str] = []
-        for broadcast in broadcasts:
-            status = self.validate_client(broadcast)
+        for broadcast, status in zip(broadcasts, statuses):
             if status is ClientStatus.VALID and broadcast.client_id in complained:
                 status = ClientStatus.BAD_OPENING
             self.audit.clients[broadcast.client_id] = status
@@ -98,47 +138,208 @@ class PublicVerifier(MorraParticipant):
                 valid.append(broadcast.client_id)
         return valid
 
+    def _validate_clients_batched(
+        self, broadcasts: list[ClientBroadcast]
+    ) -> list[ClientStatus]:
+        """Per-broadcast statuses, aligned with ``broadcasts`` by position
+        (never keyed by client id — duplicate ids must not share a verdict).
+        """
+        combined = SigmaBatch(self.params.pedersen, self.gamma_rng)
+        staged: list[int] = []
+        statuses: list[ClientStatus] = []
+        for i, broadcast in enumerate(broadcasts):
+            ok = self._client_shape_ok(broadcast) and self._stage_into(
+                combined, lambda sub: self._fold_client(sub, broadcast)
+            )
+            if ok:
+                staged.append(i)
+            statuses.append(
+                ClientStatus.VALID if ok else ClientStatus.INVALID_PROOF
+            )
+        if staged and not self._verify_staged(combined):
+            # One combined product cannot name the cheater; replay each
+            # staged client sequentially to pinpoint.
+            for i in staged:
+                statuses[i] = self.validate_client(broadcasts[i])
+        return statuses
+
+    # Shared batch staging ---------------------------------------------------
+
+    def _stage_into(self, combined: SigmaBatch, fold) -> bool:
+        """Fold one message into ``combined`` via a throwaway sub-batch.
+
+        Staging per message means a structural failure (bad challenge
+        split) taints only that message, never the whole combination.
+        Returns False — leaving ``combined`` untouched — when ``fold``
+        raises a verification error.
+        """
+        sub = SigmaBatch(self.params.pedersen, self.gamma_rng)
+        try:
+            fold(sub)
+        except VerificationError:
+            return False
+        combined.merge(sub)
+        return True
+
+    @staticmethod
+    def _verify_staged(combined: SigmaBatch) -> bool:
+        try:
+            combined.verify()
+        except VerificationError:
+            return False
+        return True
+
+    def _fold_client(self, batch: SigmaBatch, broadcast: ClientBroadcast) -> None:
+        params = self.params
+        derived = broadcast.derived_commitments()
+        transcript = _client_transcript(params, broadcast.client_id)
+        if params.dimension == 1:
+            batch.add_bit_proof(derived[0], broadcast.validity_proof, transcript)
+        else:
+            batch.add_one_hot(derived, broadcast.validity_proof, transcript)
+
     # Phase 2: prover coin validation (Lines 5-6) ----------------------------
 
-    def verify_coin_commitments(self, message: CoinCommitmentMessage, context: bytes) -> bool:
-        """Check every coin commitment is a bit; record verdict on failure."""
+    def _coin_shape_ok(self, message: CoinCommitmentMessage) -> bool:
+        params = self.params
+        if len(message.commitments) != params.nb or len(message.proofs) != params.nb:
+            return False
+        return all(
+            len(c_row) == params.dimension and len(p_row) == params.dimension
+            for c_row, p_row in zip(message.commitments, message.proofs)
+        )
+
+    def _sequential_coin_note(
+        self, message: CoinCommitmentMessage, context: bytes
+    ) -> str | None:
+        """Replay one prover's coin proofs one by one.
+
+        Returns None when every proof verifies, else a note naming the
+        first failing coin — the pinpointing the batch path cannot do.
+        """
         params = self.params
         transcript = coin_transcript(params, message.prover_id, context)
-        shape_ok = len(message.commitments) == params.nb and len(message.proofs) == params.nb
-        if shape_ok:
-            shape_ok = all(
-                len(c_row) == params.dimension and len(p_row) == params.dimension
-                for c_row, p_row in zip(message.commitments, message.proofs)
-            )
-        if not shape_ok:
-            self.audit.provers[message.prover_id] = ProverStatus.BAD_COIN_PROOF
-            self.audit.note(f"{message.prover_id}: malformed coin message")
-            return False
-        try:
-            for c_row, p_row in zip(message.commitments, message.proofs):
-                for commitment, proof in zip(c_row, p_row):
+        for j, (c_row, p_row) in enumerate(zip(message.commitments, message.proofs)):
+            for m, (commitment, proof) in enumerate(zip(c_row, p_row)):
+                try:
                     verify_bit(params.pedersen, commitment, proof, transcript)
-        except VerificationError as exc:
-            self.audit.provers[message.prover_id] = ProverStatus.BAD_COIN_PROOF
-            self.audit.note(f"{message.prover_id}: coin proof rejected ({exc})")
+                except VerificationError as exc:
+                    return f"coin proof rejected at coin {j}, coordinate {m} ({exc})"
+        return None
+
+    def _fold_coin_message(
+        self, batch: SigmaBatch, message: CoinCommitmentMessage, context: bytes
+    ) -> None:
+        params = self.params
+        transcript = coin_transcript(params, message.prover_id, context)
+        for c_row, p_row in zip(message.commitments, message.proofs):
+            for commitment, proof in zip(c_row, p_row):
+                batch.add_bit_proof(commitment, proof, transcript)
+
+    def _reject_coins(self, prover_id: str, note: str) -> None:
+        self.audit.provers[prover_id] = ProverStatus.BAD_COIN_PROOF
+        self.audit.note(f"{prover_id}: {note}")
+
+    def verify_coin_commitments(self, message: CoinCommitmentMessage, context: bytes) -> bool:
+        """Check every coin commitment is a bit; record verdict on failure.
+
+        Batched by default: one random-linear-combination multiexp over
+        all nb·M proofs, with the sequential path replayed on rejection
+        so the audit note names the exact failing coin.
+        """
+        if not self._coin_shape_ok(message):
+            self._reject_coins(message.prover_id, "malformed coin message")
             return False
+        if self.batch:
+            batch = SigmaBatch(self.params.pedersen, self.gamma_rng)
+            try:
+                self._fold_coin_message(batch, message, context)
+                batch.verify()
+            except VerificationError:
+                note = self._sequential_coin_note(message, context)
+                if note is None:  # pragma: no cover - batch/sequential divergence (bug)
+                    note = "batched coin verification rejected (sequential replay accepted)"
+                self._reject_coins(message.prover_id, note)
+                return False
+        else:
+            note = self._sequential_coin_note(message, context)
+            if note is not None:
+                self._reject_coins(message.prover_id, note)
+                return False
         self._coin_messages[message.prover_id] = message
         return True
+
+    def verify_all_coin_commitments(
+        self, messages: list[CoinCommitmentMessage], context: bytes
+    ) -> dict[str, bool]:
+        """Lines 5–6 for *all* provers with one multi-exponentiation.
+
+        Every well-formed prover message is staged into a single
+        cross-prover :class:`SigmaBatch`; only if the combined check
+        rejects does the verifier narrow down per prover (and then per
+        proof) to name the cheater.
+        """
+        results: dict[str, bool] = {}
+        if not self.batch:
+            for message in messages:
+                results[message.prover_id] = self.verify_coin_commitments(message, context)
+            return results
+        combined = SigmaBatch(self.params.pedersen, self.gamma_rng)
+        staged: list[CoinCommitmentMessage] = []
+        for message in messages:
+            if not self._coin_shape_ok(message):
+                self._reject_coins(message.prover_id, "malformed coin message")
+                results[message.prover_id] = False
+                continue
+            if not self._stage_into(
+                combined, lambda sub: self._fold_coin_message(sub, message, context)
+            ):
+                note = self._sequential_coin_note(message, context)
+                self._reject_coins(message.prover_id, note or "coin proof rejected")
+                results[message.prover_id] = False
+                continue
+            staged.append(message)
+        if staged:
+            if not self._verify_staged(combined):
+                # Narrow per prover; verify_coin_commitments pinpoints.
+                for message in staged:
+                    results[message.prover_id] = self.verify_coin_commitments(
+                        message, context
+                    )
+                return results
+            for message in staged:
+                self._coin_messages[message.prover_id] = message
+                results[message.prover_id] = True
+        return results
 
     # Phase 3/4: Morra results and the Line 12 update -------------------------
 
     def apply_public_bits(self, prover_id: str, public_bits: list[list[int]]) -> None:
-        """Compute Π_j ĉ'_j per coordinate from the public bits (Line 12)."""
+        """Compute Π_j ĉ'_j per coordinate from the public bits (Line 12).
+
+        One homomorphic pass: coins with b = 0 multiply in as-is, coins
+        with b = 1 contribute Com(1,0)·c⁻¹, so the whole column folds to
+
+            Com(k₁, 0) · Π_{b=0} c_j · (Π_{b=1} c_j)⁻¹
+
+        with k₁ the number of flipped coins — two kernel products and a
+        single inversion instead of nb divisions.
+        """
         params = self.params
+        group = params.group
         message = self._coin_messages[prover_id]
-        products: list[Commitment] = [
-            params.pedersen.commitment_to_constant(0) for _ in range(params.dimension)
-        ]
-        for j in range(params.nb):
-            for m in range(params.dimension):
-                c = message.commitments[j][m]
-                adjusted = params.pedersen.one_minus(c) if public_bits[j][m] == 1 else c
-                products[m] = products[m] * adjusted
+        products: list[Commitment] = []
+        for m in range(params.dimension):
+            keep = []
+            flip = []
+            for j in range(params.nb):
+                element = message.commitments[j][m].element
+                (flip if public_bits[j][m] == 1 else keep).append(element)
+            element = group.product(keep)
+            if flip:
+                constant = params.pedersen.commitment_to_constant(len(flip))
+                element = constant.element * element / group.product(flip)
+            products.append(Commitment(element))
         self._adjusted_products[prover_id] = products
 
     # Phase 5: final homomorphic check (Line 13) ------------------------------
@@ -148,10 +349,17 @@ class PublicVerifier(MorraParticipant):
         output: ProverOutputMessage,
         client_commitments: list[list[Commitment]],
     ) -> bool:
-        """Line 13 for one prover.
+        """Line 13 for one prover, as a single multi_scale identity check.
 
         ``client_commitments[m]`` lists the included clients' commitments
-        to this prover's shares of coordinate m.
+        to this prover's shares of coordinate m.  All M coordinate
+        equations are γ-weighted into one product
+
+            Π_m [ ĉ'_m · Π_i c_{i,m} ]^{γ_m} · g^{-Σγ_m y_m} · h^{-Σγ_m z_m} == 1
+
+        checked with one multi-exponentiation; a rejection replays the
+        per-coordinate check to name the mismatching coordinate.  With
+        ``batch=False`` only the per-coordinate products run.
         """
         params = self.params
         prover_id = output.prover_id
@@ -161,16 +369,53 @@ class PublicVerifier(MorraParticipant):
         if len(output.y) != params.dimension or len(output.z) != params.dimension:
             self.audit.provers[prover_id] = ProverStatus.FAILED_FINAL_CHECK
             return False
-        for m in range(params.dimension):
-            lhs = self._adjusted_products[prover_id][m]
-            for commitment in client_commitments[m]:
-                lhs = lhs * commitment
-            rhs = params.pedersen.commit(output.y[m], output.z[m])
-            if lhs.element != rhs.element:
-                self.audit.provers[prover_id] = ProverStatus.FAILED_FINAL_CHECK
-                self.audit.note(
-                    f"{prover_id}: commitment product mismatch on coordinate {m}"
+        q = params.q
+        pedersen = params.pedersen
+        adjusted = self._adjusted_products[prover_id]
+        if self.batch:
+            bases = []
+            exponents = []
+            g_exp = 0
+            h_exp = 0
+            for m in range(params.dimension):
+                gamma = 1 if params.dimension == 1 else self.gamma_rng.randbits(GAMMA_BITS)
+                # All of coordinate m's commitments share γ_m: fold them
+                # with plain multiplications (one each) instead of giving
+                # every client commitment its own multiexp term.
+                bases.append(
+                    params.group.product(
+                        [adjusted[m].element]
+                        + [c.element for c in client_commitments[m]]
+                    )
                 )
+                exponents.append(gamma)
+                g_exp = (g_exp - gamma * output.y[m]) % q
+                h_exp = (h_exp - gamma * output.z[m]) % q
+            bases.extend([pedersen.g, pedersen.h])
+            exponents.extend([g_exp, h_exp])
+            if params.group.multi_scale(bases, exponents).is_identity():
+                self.audit.provers[prover_id] = ProverStatus.HONEST
+                return True
+        # Coordinate-by-coordinate: the whole check when batch=False, the
+        # pinpointing replay when the combined product rejected.
+        mismatch = None
+        for m in range(params.dimension):
+            lhs = params.group.product(
+                [adjusted[m].element] + [c.element for c in client_commitments[m]]
+            )
+            rhs = pedersen.commit(output.y[m], output.z[m])
+            if lhs != rhs.element:
+                mismatch = m
+                break
+        if mismatch is None:
+            if self.batch:  # pragma: no cover - batch/sequential divergence (bug)
+                self.audit.provers[prover_id] = ProverStatus.FAILED_FINAL_CHECK
+                self.audit.note(f"{prover_id}: combined Line 13 check rejected")
                 return False
-        self.audit.provers[prover_id] = ProverStatus.HONEST
-        return True
+            self.audit.provers[prover_id] = ProverStatus.HONEST
+            return True
+        self.audit.provers[prover_id] = ProverStatus.FAILED_FINAL_CHECK
+        self.audit.note(
+            f"{prover_id}: commitment product mismatch on coordinate {mismatch}"
+        )
+        return False

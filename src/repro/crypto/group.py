@@ -143,21 +143,48 @@ class Group(abc.ABC):
     ) -> GroupElement:
         """Product of bases[i] ** exponents[i].
 
-        Backends may override with a simultaneous multi-exponentiation; the
-        default is the naive product.
+        Routed through the tiered engine in :mod:`repro.crypto.multiexp`
+        (naive / Straus-wNAF / Pippenger, selected by batch size and
+        exponent bit length).  Backends accelerate it by providing a raw
+        kernel via :meth:`multiexp_kernel` rather than overriding this.
         """
-        if len(bases) != len(exponents):
-            raise ParameterError("bases and exponents length mismatch")
-        acc = self.identity()
-        for base, exp in zip(bases, exponents):
-            acc = acc * (base ** exp)
-        return acc
+        from repro.crypto.multiexp import multi_exponentiation
+
+        return multi_exponentiation(self, list(bases), list(exponents))
+
+    def multiexp_kernel(self):
+        """Raw-representation kernel for the multiexp engine, or None.
+
+        Backends return an object with ``identity_raw`` / ``to_raw`` /
+        ``from_raw`` / ``mul`` / ``sqr`` / ``neg_many`` (see
+        :class:`repro.crypto.multiexp.GenericKernel`) so batch products
+        run on unboxed values; None selects the generic fallback.
+        """
+        return None
+
+    def normalize_many(self, elements: Sequence[GroupElement]) -> list[GroupElement]:
+        """Normalize many elements for serialization, batched when possible.
+
+        Projective-coordinate backends override this with one Montgomery
+        batch inversion for the whole list (P-256 Jacobian → affine); the
+        default is the identity map for backends whose elements are
+        already canonical.
+        """
+        return list(elements)
 
     def product(self, elements: Iterable[GroupElement]) -> GroupElement:
-        acc = self.identity()
+        """Plain product, accumulated on the raw kernel representation."""
+        from repro.crypto.multiexp import kernel_for
+
+        kernel = kernel_for(self)
+        to_raw, mul = kernel.to_raw, kernel.mul
+        acc = None
         for element in elements:
-            acc = acc * element
-        return acc
+            raw = to_raw(element)
+            acc = raw if acc is None else mul(acc, raw)
+        if acc is None:
+            return self.identity()
+        return kernel.from_raw(acc)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<{type(self).__name__} {self.name} |q|={self.order.bit_length()}b>"

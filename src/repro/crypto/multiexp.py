@@ -1,14 +1,65 @@
-"""Multi-exponentiation.
+"""Tiered multi-exponentiation engine.
 
 The verifier's Line 13 check in ΠBin is one big product
 ``prod(c_i) * prod(ĉ'_j) == Com(y, z)`` — a multi-exponentiation once the
-commitments are unwound — and Σ-proof batch verification is a random linear
-combination of many (base, exponent) pairs.  Interleaved windowed
-exponentiation cuts the group-operation count roughly by the window width
-versus the naive product.
+commitments are unwound — and Σ-proof batch verification is a random
+linear combination of many (base, exponent) pairs: at paper scale
+(nb = 262,144 coins per prover) a single batch contains hundreds of
+thousands of terms.  No one algorithm is right across that range, so
+:func:`multi_exponentiation` picks between three tiers:
 
-The implementation is backend-agnostic: it only uses the ``Group`` /
-``GroupElement`` interface.
+``naive``
+    Independent ``pow`` per pair.  Optimal for n ≤ 2 on short exponents:
+    there is no shared work to exploit and the per-call constant is the
+    smallest.  (For 2048-bit groups the shared square chain already wins
+    at n = 2 — the selector is cost-model driven, not a fixed cutoff.)
+
+``straus``
+    Straus interleaving with width-w NAF recoding and odd-multiple
+    tables: one shared square chain for all bases; each base contributes
+    a table of 2^(w-2) odd multiples and touches the accumulator only on
+    its (sparse, density 1/(w+1)) nonzero signed digits.  Table
+    negations cost nothing on the curve backends (negate a coordinate)
+    and one Montgomery batch inversion on the Schnorr backend.  Best for
+    small-to-medium n where per-base tables still amortize.
+
+``pippenger``
+    Pippenger's bucket method: per c-bit window, throw each base into the
+    bucket of its digit (one multiplication per base per window — no
+    per-base tables at all), then fold the 2^c buckets with a running
+    sum.  Cost ≈ ceil(b/c)·(n + 2^(c+1)) multiplications, so for large n
+    the marginal cost per base approaches b/c multiplications — the
+    asymptotically right algorithm once a batch has thousands of bases.
+
+Selection is automatic from the cost model in :func:`select_algorithm`,
+calibrated in units of one group multiplication with two backend hints
+from the kernel: whether single exponentiation is CPython's C ``pow``
+(≈ bits multiplication-units per call — measured 37 µs ≈ 123 modmuls on
+p128-sim) and how expensive Python loop bookkeeping is relative to one
+group op.  Measured crossover points (CPython, full-width exponents; see
+``benchmarks/bench_multiexp.py`` and the checked-in
+``BENCH_multiexp.json``):
+
+* p128-sim — naive ≤ n ≈ 4, straus n ≈ 5–12, pippenger from n ≈ 16;
+  at n = 256 pippenger is ~3.5× naive and ~3× straus, at n = 4096 ~7×
+  naive (and the batched-verification pipeline built on it verifies
+  4096 Σ-OR proofs ~7× faster than the sequential verifier);
+* modp-2048 — one C ``pow`` already costs ~2047 Python modmuls' worth,
+  so straus wins from n = 2 (1.6×) and stays ahead to n ≈ 1000 where
+  pippenger takes over;
+* ristretto255 / P-256 — no native ``pow``, so straus wins from n = 2
+  and, with curve ops dwarfing bookkeeping, holds until n ≈ 256.
+
+The engine is backend-agnostic but *not* object-per-operation: backends
+may expose a :meth:`~repro.crypto.group.Group.multiexp_kernel` returning
+a raw-representation kernel (ints mod p for Schnorr groups, extended
+Edwards coordinates for ristretto255, Jacobian coordinates for P-256).
+All accumulation happens on raw values — points stay in
+extended/Jacobian coordinates across the whole product, and nothing is
+normalized until the single final result is converted back to a
+``GroupElement`` (serialization-time normalization of *many* points is
+batched separately via ``Group.normalize_many``).  Groups without a
+kernel fall back to a generic kernel over ``GroupElement`` objects.
 """
 
 from __future__ import annotations
@@ -18,55 +69,312 @@ from typing import Sequence
 from repro.crypto.group import Group, GroupElement
 from repro.errors import ParameterError
 
-__all__ = ["multi_exponentiation", "FixedBaseTable"]
+__all__ = [
+    "multi_exponentiation",
+    "select_algorithm",
+    "kernel_for",
+    "FixedBaseTable",
+    "GenericKernel",
+]
 
-_WINDOW = 4
+# Straus' per-base wNAF window width, by max exponent bit length.
+_STRAUS_WINDOWS = ((64, 3), (256, 4), (1 << 30, 5))
+
+
+class GenericKernel:
+    """Fallback raw-operation kernel over plain ``GroupElement`` objects.
+
+    Backends with cheaper internal representations provide their own
+    kernel with the same interface (see ``SchnorrGroup.multiexp_kernel``)
+    so the engine's inner loops avoid per-operation object allocation:
+
+    * ``identity_raw`` — the raw identity value,
+    * ``to_raw`` / ``from_raw`` — convert to/from ``GroupElement``,
+    * ``mul`` / ``sqr`` — group operation / squaring on raw values,
+    * ``neg_many`` — invert a list of raw values (batched where the
+      backend can, e.g. Montgomery batch inversion mod p),
+    * ``native_pow`` / ``op_overhead`` — cost-model hints for
+      :func:`select_algorithm` (is a single ``**`` a C-speed ``pow``, and
+      how expensive is Python bookkeeping relative to one group op).
+    """
+
+    __slots__ = ("identity_raw",)
+
+    native_pow = False
+    op_overhead = 0.1
+
+    def __init__(self, group: Group) -> None:
+        self.identity_raw = group.identity()
+
+    @staticmethod
+    def to_raw(element: GroupElement) -> GroupElement:
+        return element
+
+    @staticmethod
+    def from_raw(raw: GroupElement) -> GroupElement:
+        return raw
+
+    @staticmethod
+    def mul(a: GroupElement, b: GroupElement) -> GroupElement:
+        return a.combine(b)
+
+    @staticmethod
+    def sqr(a: GroupElement) -> GroupElement:
+        return a.combine(a)
+
+    @staticmethod
+    def neg_many(raws: list) -> list:
+        return [raw.invert() for raw in raws]
+
+
+def kernel_for(group: Group):
+    """The group's raw-operation kernel (cached generic fallback if none)."""
+    kernel = group.multiexp_kernel()
+    if kernel is None:
+        kernel = getattr(group, "_generic_kernel", None)
+        if kernel is None:
+            kernel = GenericKernel(group)
+            group._generic_kernel = kernel
+    return kernel
+
+
+# ---------------------------------------------------------------------------
+# Cost model and tier selection
+# ---------------------------------------------------------------------------
+#
+# Costs are estimated in units of one group multiplication.  Two backend
+# facts skew the comparison and are supplied by the kernel:
+#
+# * ``native_pow`` — Schnorr backends dispatch single exponentiations to
+#   CPython's C ``pow`` (≈ ``bits`` multiplication-units per call), which
+#   makes the naive tier cheap; curve backends run a Python double-and-add
+#   (≈ 1.3·bits units), which does not.
+# * ``op_overhead`` — Python loop bookkeeping (dict lookups, tuple
+#   unpacking) costs a roughly fixed ~0.5 µs per table hit, which is
+#   material when a multiplication is a 128-bit modmul (~0.3 µs) and
+#   noise when it is a 2048-bit modmul or a curve addition (5–10 µs).
+
+
+def _straus_cost(n: int, bits: int, window: int, overhead: float) -> float:
+    tables = n * ((1 << (window - 2)) + 1)
+    hits = n * (bits / (window + 1)) * (1.0 + 1.5 * overhead)
+    return 1.5 * bits + tables + hits
+
+
+def _pippenger_window(n: int, bits: int) -> int:
+    best_c, best_cost = 1, float("inf")
+    for c in range(1, 22):
+        nwin = -(-bits // c)
+        cost = nwin * (n + (1 << (c + 1)) + 2) + bits
+        if cost < best_cost:
+            best_c, best_cost = c, cost
+    return best_c
+
+
+def _pippenger_cost(n: int, bits: int, c: int) -> float:
+    nwin = -(-bits // c)
+    return nwin * (n + (1 << (c + 1)) + 2) + bits
+
+
+def _straus_window(bits: int) -> int:
+    for limit, window in _STRAUS_WINDOWS:
+        if bits <= limit:
+            return window
+    return _STRAUS_WINDOWS[-1][1]  # pragma: no cover - table covers all bits
+
+
+def select_algorithm(
+    n: int, bits: int, *, native_pow: bool = True, op_overhead: float = 1.3
+) -> str:
+    """Pick the cheapest tier for ``n`` pairs of ``bits``-bit exponents.
+
+    Returns ``"naive"``, ``"straus"`` or ``"pippenger"``.  The defaults
+    describe the 128-bit Schnorr simulation groups; callers with a group
+    in hand should let :func:`multi_exponentiation` pass the kernel's own
+    ``native_pow`` / ``op_overhead`` hints.  Exposed so the benchmarks
+    (and curious tests) can introspect the crossover points.
+    """
+    if n <= 1 or bits <= 1:
+        return "naive"
+    naive = n * bits * (1.0 if native_pow else 1.3)
+    straus = _straus_cost(n, bits, _straus_window(bits), op_overhead)
+    pippenger = _pippenger_cost(n, bits, _pippenger_window(n, bits))
+    best = min(naive, straus, pippenger)
+    if best == naive:
+        return "naive"
+    return "straus" if straus <= pippenger else "pippenger"
+
+
+# ---------------------------------------------------------------------------
+# The three tiers (all operate on kernel-raw bases)
+# ---------------------------------------------------------------------------
+
+
+def _naive(group: Group, bases: list[GroupElement], exps: list[int]) -> GroupElement:
+    acc = None
+    for base, e in zip(bases, exps):
+        term = base ** e
+        acc = term if acc is None else acc * term
+    return acc if acc is not None else group.identity()
+
+
+def _wnaf_events(e: int, window: int) -> list[tuple[int, int]]:
+    """Width-w NAF as sparse (position, signed odd digit) events.
+
+    Digits lie in (-2^(w-1), 2^(w-1)) with density 1/(w+1); zero runs are
+    skipped in one step via trailing-zero counting, so recoding costs one
+    loop iteration per *nonzero* digit rather than one per bit.
+    """
+    full = 1 << window
+    half = full >> 1
+    mask = full - 1
+    events = []
+    pos = 0
+    while e > 0:
+        tz = (e & -e).bit_length() - 1
+        e >>= tz
+        pos += tz
+        d = e & mask
+        if d >= half:
+            d -= full
+        events.append((pos, d))
+        # e - d is divisible by 2^w, so jump a whole window ahead.
+        e = (e - d) >> window
+        pos += window
+    return events
+
+
+def _straus(kernel, raw_bases: list, exps: list[int], window: int) -> object:
+    mul, sqr = kernel.mul, kernel.sqr
+    # Odd multiples 1, 3, ..., 2^(w-1)-1 of every base, plus (batched)
+    # negations so signed digits are table lookups too.
+    odd_counts = 1 << (window - 2)
+    tables: list[list] = []
+    flat: list = []
+    for raw in raw_bases:
+        row = [raw]
+        if odd_counts > 1:
+            sq = sqr(raw)
+            for _ in range(1, odd_counts):
+                row.append(mul(row[-1], sq))
+        tables.append(row)
+        flat.extend(row)
+    flat_neg = kernel.neg_many(flat)
+
+    # Bucket the table hits by bit position so the shared square chain
+    # only touches bases that actually have a nonzero digit there.
+    hits: dict[int, list] = {}
+    top = 0
+    for i, e in enumerate(exps):
+        row_start = i * odd_counts
+        for pos, d in _wnaf_events(e, window):
+            entry = (
+                tables[i][d >> 1] if d > 0 else flat_neg[row_start + ((-d) >> 1)]
+            )
+            hits.setdefault(pos, []).append(entry)
+            if pos > top:
+                top = pos
+
+    acc = None
+    for pos in range(top, -1, -1):
+        if acc is not None:
+            acc = sqr(acc)
+        for entry in hits.get(pos, ()):
+            acc = entry if acc is None else mul(acc, entry)
+    return acc if acc is not None else kernel.identity_raw
+
+
+def _pippenger(kernel, raw_bases: list, exps: list[int], bits: int) -> object:
+    mul, sqr = kernel.mul, kernel.sqr
+    n = len(raw_bases)
+    c = _pippenger_window(n, bits)
+    mask = (1 << c) - 1
+    nwin = -(-bits // c)
+    acc = None  # emptiness tracked by flag value, never by identity compare
+    for win in range(nwin - 1, -1, -1):
+        if acc is not None:
+            for _ in range(c):
+                acc = sqr(acc)
+        shift = win * c
+        buckets: list = [None] * (mask + 1)
+        for raw, e in zip(raw_bases, exps):
+            d = (e >> shift) & mask
+            if d:
+                held = buckets[d]
+                buckets[d] = raw if held is None else mul(held, raw)
+        # Fold buckets highest-first: running = Σ_{j>=d} B_j, and adding the
+        # running sum once per step weights each bucket by its digit.
+        running = None
+        window_sum = None
+        for d in range(mask, 0, -1):
+            held = buckets[d]
+            if held is not None:
+                running = held if running is None else mul(running, held)
+            if running is not None:
+                window_sum = running if window_sum is None else mul(window_sum, running)
+        if window_sum is not None:
+            acc = window_sum if acc is None else mul(acc, window_sum)
+    return acc if acc is not None else kernel.identity_raw
+
+
+# ---------------------------------------------------------------------------
+# Public entry point
+# ---------------------------------------------------------------------------
 
 
 def multi_exponentiation(
-    group: Group, bases: Sequence[GroupElement], exponents: Sequence[int]
+    group: Group,
+    bases: Sequence[GroupElement],
+    exponents: Sequence[int],
+    *,
+    algorithm: str | None = None,
 ) -> GroupElement:
-    """Compute prod(bases[i] ** exponents[i]) with interleaved windows.
+    """Compute ``prod(bases[i] ** exponents[i])`` with the cheapest tier.
 
-    Uses a shared square chain across all pairs (Straus' trick) with
-    ``_WINDOW``-bit windows per base.
+    Exponents are reduced mod the group order (so negative exponents are
+    fine) and zero-exponent pairs are dropped before selection.  Pass
+    ``algorithm`` ("naive" / "straus" / "pippenger") to override the
+    automatic choice — used by the crossover benchmarks and the
+    equivalence tests.
     """
     if len(bases) != len(exponents):
         raise ParameterError("bases and exponents length mismatch")
-    if not bases:
-        return group.identity()
-    if len(bases) == 1:
-        return bases[0] ** exponents[0]
-
+    if algorithm not in (None, "naive", "straus", "pippenger"):
+        raise ParameterError(f"unknown multiexp algorithm {algorithm!r}")
     order = group.order
-    exps = [e % order for e in exponents]
-    max_bits = max((e.bit_length() for e in exps), default=0)
-    if max_bits == 0:
+    live_bases: list[GroupElement] = []
+    live_exps: list[int] = []
+    for base, e in zip(bases, exponents):
+        e %= order
+        if e:
+            live_bases.append(base)
+            live_exps.append(e)
+    if not live_bases:
         return group.identity()
 
-    # Precompute odd multiples? For simplicity precompute full window tables:
-    # table[i][w] = bases[i] ** w for w in [0, 2^WINDOW).
-    tables = []
-    for base in bases:
-        row = [group.identity(), base]
-        for _ in range(2, 1 << _WINDOW):
-            row.append(row[-1] * base)
-        tables.append(row)
+    bits = max(e.bit_length() for e in live_exps)
+    kernel = kernel_for(group)
+    if algorithm is None:
+        algorithm = select_algorithm(
+            len(live_bases),
+            bits,
+            native_pow=getattr(kernel, "native_pow", False),
+            op_overhead=getattr(kernel, "op_overhead", 0.1),
+        )
 
-    # Process windows from the most significant end.
-    nwindows = (max_bits + _WINDOW - 1) // _WINDOW
-    acc = group.identity()
-    for w in range(nwindows - 1, -1, -1):
-        if acc is not group.identity() or w != nwindows - 1:
-            for _ in range(_WINDOW):
-                acc = acc * acc
-        shift = w * _WINDOW
-        mask = (1 << _WINDOW) - 1
-        for i, e in enumerate(exps):
-            digit = (e >> shift) & mask
-            if digit:
-                acc = acc * tables[i][digit]
-    return acc
+    if algorithm == "naive":
+        return _naive(group, live_bases, live_exps)
+    raw_bases = [kernel.to_raw(base) for base in live_bases]
+    if algorithm == "straus":
+        raw = _straus(kernel, raw_bases, live_exps, _straus_window(bits))
+    else:
+        raw = _pippenger(kernel, raw_bases, live_exps, bits)
+    return kernel.from_raw(raw)
+
+
+# ---------------------------------------------------------------------------
+# Fixed-base comb tables
+# ---------------------------------------------------------------------------
 
 
 class FixedBaseTable:
@@ -84,6 +392,8 @@ class FixedBaseTable:
         order_bits = self._group.order.bit_length()
         self._nwindows = (order_bits + window - 1) // window
         self._tables: list[list[GroupElement]] = []
+        self._raw_tables: list[list] | None = None
+        self._raw_kernel = None
         current = base
         for _ in range(self._nwindows):
             row = [self._group.identity()]
@@ -95,6 +405,27 @@ class FixedBaseTable:
     @property
     def base(self) -> GroupElement:
         return self._tables[0][1]
+
+    @property
+    def window(self) -> int:
+        return self._window
+
+    @property
+    def nwindows(self) -> int:
+        return self._nwindows
+
+    def raw_tables(self, kernel) -> list[list]:
+        """The comb rows converted once to ``kernel``-raw values.
+
+        Used by ``PedersenParams.commit_many`` to interleave g/h digit
+        lookups without constructing intermediate ``GroupElement``s.
+        """
+        if self._raw_tables is None or self._raw_kernel is not kernel:
+            self._raw_tables = [
+                [kernel.to_raw(entry) for entry in row] for row in self._tables
+            ]
+            self._raw_kernel = kernel
+        return self._raw_tables
 
     def power(self, exponent: int) -> GroupElement:
         """base ** exponent using only table lookups and multiplications."""

@@ -22,7 +22,7 @@ from functools import lru_cache
 
 from repro.crypto.group import Group, GroupElement
 from repro.errors import EncodingError, NotOnGroupError
-from repro.utils.numth import legendre_symbol, sqrt_mod
+from repro.utils.numth import batch_inverse, legendre_symbol, sqrt_mod
 
 __all__ = ["P256Group", "P256Point"]
 
@@ -158,6 +158,86 @@ class P256Point(GroupElement):
         return hash((id(self._group), self.to_bytes()))
 
 
+class _P256Kernel:
+    """Raw multiexp kernel: Jacobian (X, Y, Z) tuples, None for infinity.
+
+    Inlines the same add/double formulas as :class:`P256Point` over plain
+    tuples; the whole product stays in Jacobian coordinates and nothing
+    is inverted until the final result is boxed (and even then only on
+    serialization, where :meth:`P256Group.normalize_many` batches the
+    inversions Montgomery-style).
+    """
+
+    __slots__ = ("_group", "identity_raw")
+
+    native_pow = False  # scalar mult is a Python double-and-add
+    op_overhead = 0.1  # Jacobian adds are ~12 field muls; bookkeeping is noise
+
+    def __init__(self, group: "P256Group") -> None:
+        self._group = group
+        self.identity_raw = None
+
+    @staticmethod
+    def to_raw(point: "P256Point") -> tuple[int, int, int] | None:
+        if point.Z == 0:
+            return None
+        return (point.X, point.Y, point.Z)
+
+    def from_raw(self, raw: tuple[int, int, int] | None) -> "P256Point":
+        if raw is None:
+            return self._group.identity()
+        return P256Point(self._group, *raw)
+
+    @staticmethod
+    def sqr(a: tuple | None) -> tuple | None:
+        if a is None:
+            return None
+        X1, Y1, Z1 = a
+        if Y1 == 0:
+            return None
+        z2 = Z1 * Z1 % _P
+        m = 3 * ((X1 - z2) % _P) * ((X1 + z2) % _P) % _P
+        y2 = Y1 * Y1 % _P
+        s = 4 * X1 * y2 % _P
+        x3 = (m * m - 2 * s) % _P
+        y3 = (m * (s - x3) - 8 * y2 * y2) % _P
+        z3 = 2 * Y1 * Z1 % _P
+        return (x3, y3, z3)
+
+    def mul(self, a: tuple | None, b: tuple | None) -> tuple | None:
+        if a is None:
+            return b
+        if b is None:
+            return a
+        X1, Y1, Z1 = a
+        X2, Y2, Z2 = b
+        z1z1 = Z1 * Z1 % _P
+        z2z2 = Z2 * Z2 % _P
+        u1 = X1 * z2z2 % _P
+        u2 = X2 * z1z1 % _P
+        s1 = Y1 * Z2 % _P * z2z2 % _P
+        s2 = Y2 * Z1 % _P * z1z1 % _P
+        if u1 == u2:
+            if s1 != s2:
+                return None
+            return self.sqr(a)
+        h = (u2 - u1) % _P
+        r = (s2 - s1) % _P
+        h2 = h * h % _P
+        h3 = h2 * h % _P
+        v = u1 * h2 % _P
+        x3 = (r * r - h3 - 2 * v) % _P
+        y3 = (r * (v - x3) - s1 * h3) % _P
+        z3 = h * Z1 % _P * Z2 % _P
+        return (x3, y3, z3)
+
+    @staticmethod
+    def neg_many(raws: list) -> list:
+        return [
+            None if raw is None else (raw[0], (-raw[1]) % _P, raw[2]) for raw in raws
+        ]
+
+
 class P256Group(Group):
     """The prime-order group of NIST P-256 points."""
 
@@ -166,6 +246,7 @@ class P256Group(Group):
     def __init__(self) -> None:
         self._identity = P256Point(self, 1, 1, 0)
         self._generator = P256Point(self, _GX, _GY, 1)
+        self._kernel: _P256Kernel | None = None
 
     @staticmethod
     @lru_cache(maxsize=1)
@@ -231,7 +312,36 @@ class P256Group(Group):
                 return P256Point(self, x, y, 1)
             counter += 1
 
-    def multi_scale(self, bases, exponents) -> P256Point:
-        from repro.crypto.multiexp import multi_exponentiation
+    def multiexp_kernel(self) -> _P256Kernel:
+        """Jacobian-tuple kernel consumed by :mod:`repro.crypto.multiexp`."""
+        if self._kernel is None:
+            self._kernel = _P256Kernel(self)
+        return self._kernel
 
-        return multi_exponentiation(self, list(bases), list(exponents))
+    def normalize_many(self, elements) -> list[P256Point]:
+        """Batch-normalize points to Z = 1 with one modular inversion.
+
+        Serialization (``to_bytes``) needs affine coordinates, which costs
+        an inversion per point when done one at a time; Montgomery batch
+        inversion turns a bulletin-board's worth of encodings into one
+        ``pow(·, -1, p)`` plus three multiplications per point.
+        """
+        points = list(elements)
+        finite = [pt for pt in points if not pt.is_infinity() and pt.Z != 1]
+        if not finite:
+            return points
+        inverses = dict(
+            zip(
+                (id(pt) for pt in finite),
+                batch_inverse([pt.Z for pt in finite], _P),
+            )
+        )
+        out = []
+        for pt in points:
+            z_inv = inverses.get(id(pt))
+            if z_inv is None:
+                out.append(pt)
+                continue
+            z2 = z_inv * z_inv % _P
+            out.append(P256Point(self, pt.X * z2 % _P, pt.Y * z2 % _P * z_inv % _P, 1))
+        return out

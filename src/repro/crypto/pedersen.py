@@ -91,6 +91,10 @@ class PedersenParams:
         # the same two generators, so comb tables pay for themselves fast.
         self._g_table = FixedBaseTable(self.g)
         self._h_table = FixedBaseTable(self.h)
+        # Com(0,0) = 1 and Com(1,0) = g come up on every Line 12 update;
+        # cache them instead of re-walking the comb table.
+        self._const_zero = Commitment(group.identity())
+        self._const_one = Commitment(self.g)
 
     # Committing ----------------------------------------------------------
 
@@ -105,17 +109,61 @@ class PedersenParams:
         r = default_rng(rng).field_element(self.q)
         return self.commit(value, r), Opening(value % self.q, r)
 
+    def commit_many(
+        self, values: Sequence[int], randomness: Sequence[int]
+    ) -> list[Commitment]:
+        """Com(x_i, r_i) for every pair, on one fused comb walk each.
+
+        Interleaves the g- and h-table digit lookups into a single raw
+        accumulation per pair (no intermediate ``GroupElement`` per
+        generator), using the backend's multiexp kernel.  This is the
+        commit path for every bulk producer: ``commit_vector``, client
+        share commitments, and the prover's nb-coin phase.
+        """
+        if len(values) != len(randomness):
+            raise ParameterError("values and randomness length mismatch")
+        from repro.crypto.multiexp import kernel_for
+
+        kernel = kernel_for(self.group)
+        g_rows = self._g_table.raw_tables(kernel)
+        h_rows = self._h_table.raw_tables(kernel)
+        mul = kernel.mul
+        from_raw = kernel.from_raw
+        window = self._g_table.window
+        mask = (1 << window) - 1
+        nwindows = self._g_table.nwindows
+        q = self.q
+        out: list[Commitment] = []
+        for value, rand in zip(values, randomness):
+            x = value % q
+            r = rand % q
+            acc = None
+            for i in range(nwindows):
+                shift = i * window
+                dg = (x >> shift) & mask
+                if dg:
+                    entry = g_rows[i][dg]
+                    acc = entry if acc is None else mul(acc, entry)
+                dh = (r >> shift) & mask
+                if dh:
+                    entry = h_rows[i][dh]
+                    acc = entry if acc is None else mul(acc, entry)
+            raw = acc if acc is not None else kernel.identity_raw
+            out.append(Commitment(from_raw(raw)))
+        return out
+
     def commit_vector(
         self, values: Sequence[int], rng: RNG | None = None
     ) -> tuple[list[Commitment], list[Opening]]:
         """Coordinate-wise commitments to a vector (one-hot inputs etc.)."""
         rng = default_rng(rng)
-        commitments: list[Commitment] = []
-        openings: list[Opening] = []
-        for value in values:
-            c, o = self.commit_fresh(value, rng)
-            commitments.append(c)
-            openings.append(o)
+        q = self.q
+        openings = [
+            Opening(value % q, rng.field_element(q)) for value in values
+        ]
+        commitments = self.commit_many(
+            [o.value for o in openings], [o.randomness for o in openings]
+        )
         return commitments, openings
 
     # Verifying -----------------------------------------------------------
@@ -147,7 +195,12 @@ class PedersenParams:
 
     def commitment_to_constant(self, value: int) -> Commitment:
         """Com(value, 0) — used by the verifier's Line 12 update ĉ' = Com(1,0)/c'."""
-        return Commitment(self._g_table.power(value % self.q))
+        value %= self.q
+        if value == 0:
+            return self._const_zero
+        if value == 1:
+            return self._const_one
+        return Commitment(self._g_table.power(value))
 
     def one_minus(self, commitment: Commitment) -> Commitment:
         """Com(1, 0) * c^-1: a commitment to 1 - x with randomness -r.
@@ -156,7 +209,7 @@ class PedersenParams:
         of Figure 2: the verifier computes a commitment to the XOR-adjusted
         bit without ever seeing the bit.
         """
-        return Commitment(self.commitment_to_constant(1).element / commitment.element)
+        return Commitment(self._const_one.element / commitment.element)
 
     def transcript_bytes(self) -> bytes:
         """Canonical encoding of pp, bound into every proof transcript."""

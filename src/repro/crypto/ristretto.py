@@ -219,6 +219,62 @@ class RistrettoPoint(GroupElement):
         return hash((id(self._group), self.to_bytes()))
 
 
+class _RistrettoKernel:
+    """Raw multiexp kernel: (X, Y, Z, T) extended-coordinate tuples.
+
+    The add/double formulas are the same complete a = -1 formulas as
+    :meth:`RistrettoPoint.combine` / :meth:`RistrettoPoint.double`, inlined
+    over tuples so the whole product runs without allocating a point
+    object per operation; only the final result is re-boxed.
+    """
+
+    __slots__ = ("_group", "identity_raw")
+
+    native_pow = False  # scalar mult is a Python double-and-add
+    op_overhead = 0.1  # ~10 field muls per group op dwarf loop bookkeeping
+
+    def __init__(self, group: "RistrettoGroup") -> None:
+        self._group = group
+        self.identity_raw = (0, 1, 1, 0)
+
+    @staticmethod
+    def to_raw(point: "RistrettoPoint") -> tuple[int, int, int, int]:
+        return (point.X, point.Y, point.Z, point.T)
+
+    def from_raw(self, raw: tuple[int, int, int, int]) -> "RistrettoPoint":
+        return RistrettoPoint(self._group, *raw)
+
+    @staticmethod
+    def mul(a: tuple, b: tuple) -> tuple:
+        X1, Y1, Z1, T1 = a
+        X2, Y2, Z2, T2 = b
+        A = (Y1 - X1) * (Y2 - X2) % P
+        B = (Y1 + X1) * (Y2 + X2) % P
+        C = T1 * 2 * D % P * T2 % P
+        Dv = Z1 * 2 * Z2 % P
+        E = B - A
+        F = Dv - C
+        G = Dv + C
+        H = B + A
+        return (E * F % P, G * H % P, F * G % P, E * H % P)
+
+    @staticmethod
+    def sqr(a: tuple) -> tuple:
+        X1, Y1, Z1, _ = a
+        A = X1 * X1 % P
+        B = Y1 * Y1 % P
+        C = 2 * Z1 * Z1 % P
+        H = A + B
+        E = H - (X1 + Y1) * (X1 + Y1) % P
+        G = A - B
+        F = C + G
+        return (E * F % P, G * H % P, F * G % P, E * H % P)
+
+    @staticmethod
+    def neg_many(raws: list[tuple]) -> list[tuple]:
+        return [((P - X) % P, Y, Z, (P - T) % P) for X, Y, Z, T in raws]
+
+
 class RistrettoGroup(Group):
     """The ristretto255 prime-order group (singleton per process)."""
 
@@ -230,6 +286,7 @@ class RistrettoGroup(Group):
         by = 4 * pow(5, -1, P) % P
         bx = self._recover_x(by, sign_negative=False)
         self._generator = RistrettoPoint(self, bx, by, 1, bx * by % P)
+        self._kernel: _RistrettoKernel | None = None
 
     @staticmethod
     def _recover_x(y: int, *, sign_negative: bool) -> int:
@@ -328,7 +385,8 @@ class RistrettoGroup(Group):
     def random_element(self, rng: RNG | None = None) -> RistrettoPoint:
         return self.from_uniform_bytes(default_rng(rng).random_bytes(64))
 
-    def multi_scale(self, bases, exponents) -> RistrettoPoint:
-        from repro.crypto.multiexp import multi_exponentiation
-
-        return multi_exponentiation(self, list(bases), list(exponents))
+    def multiexp_kernel(self) -> _RistrettoKernel:
+        """Extended-coordinate kernel consumed by :mod:`repro.crypto.multiexp`."""
+        if self._kernel is None:
+            self._kernel = _RistrettoKernel(self)
+        return self._kernel

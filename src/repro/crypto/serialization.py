@@ -32,6 +32,7 @@ from repro.utils.encoding import (
 
 __all__ = [
     "encode_commitment",
+    "encode_commitments",
     "decode_commitment",
     "encode_bit_proof",
     "decode_bit_proof",
@@ -64,6 +65,20 @@ def _expect_magic(parts: list[bytes], magic: bytes) -> list[bytes]:
 
 def encode_commitment(commitment: Commitment) -> bytes:
     return commitment.element.to_bytes()
+
+
+def encode_commitments(commitments) -> list[bytes]:
+    """Encode many commitments, batching any coordinate normalization.
+
+    Projective backends (P-256) pay a field inversion per ``to_bytes``;
+    ``Group.normalize_many`` collapses a whole row of them into one
+    Montgomery batch inversion before the per-element encodings.
+    """
+    elements = [c.element for c in commitments]
+    if not elements:
+        return []
+    normalized = elements[0].group.normalize_many(elements)
+    return [element.to_bytes() for element in normalized]
 
 
 def decode_commitment(group: Group, data: bytes) -> Commitment:

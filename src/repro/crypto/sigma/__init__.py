@@ -31,7 +31,7 @@ from repro.crypto.sigma.or_bit import (
 )
 from repro.crypto.sigma.onehot import OneHotProof, prove_one_hot, verify_one_hot
 from repro.crypto.sigma.equality import EqualityProof, prove_equal, verify_equal
-from repro.crypto.sigma.batch import batch_verify_bits
+from repro.crypto.sigma.batch import SigmaBatch, batch_verify_bits, batch_verify_one_hot
 from repro.crypto.sigma.interactive import (
     InteractiveBitProver,
     InteractiveBitVerifier,
@@ -57,7 +57,9 @@ __all__ = [
     "EqualityProof",
     "prove_equal",
     "verify_equal",
+    "SigmaBatch",
     "batch_verify_bits",
+    "batch_verify_one_hot",
     "InteractiveBitProver",
     "InteractiveBitVerifier",
     "run_interactive_bit_proof",

@@ -123,6 +123,33 @@ def inverse_mod(a: int, m: int) -> int:
         raise ParameterError(f"{a} not invertible mod {m}") from exc
 
 
+def batch_inverse(values: list[int], m: int) -> list[int]:
+    """Modular inverses of all ``values`` mod ``m`` with one inversion.
+
+    Montgomery's trick: prefix-multiply, invert the total once, then
+    unwind — 3(n-1) multiplications plus a single :func:`inverse_mod`
+    instead of n inversions.  Raises :class:`ParameterError` if any value
+    is not invertible.
+    """
+    if not values:
+        return []
+    reduced = [value % m for value in values]
+    if any(value == 0 for value in reduced):
+        raise ParameterError("0 has no modular inverse")
+    prefix = [0] * len(reduced)
+    acc = 1
+    for i, value in enumerate(reduced):
+        acc = acc * value % m
+        prefix[i] = acc
+    inv = inverse_mod(acc, m)
+    out = [0] * len(reduced)
+    for i in range(len(reduced) - 1, 0, -1):
+        out[i] = prefix[i - 1] * inv % m
+        inv = inv * reduced[i] % m
+    out[0] = inv
+    return out
+
+
 def legendre_symbol(a: int, p: int) -> int:
     """Legendre symbol (a|p) for odd prime p: 1, -1, or 0."""
     a %= p

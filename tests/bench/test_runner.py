@@ -106,8 +106,24 @@ class TestFormatting:
     def test_experiment_registry(self):
         assert set(EXPERIMENTS) == {
             "table1", "fig3", "fig4", "table2", "micro", "err", "comm",
-            "attacks", "separation",
+            "attacks", "separation", "multiexp",
         }
+
+    def test_run_multiexp_rows(self, tmp_path, monkeypatch):
+        from repro.bench.runner import run_multiexp
+
+        monkeypatch.setenv("REPRO_BENCH_DIR", str(tmp_path))
+        rows = run_multiexp(sizes=(1, 4), wide_sizes=(2,), emit_json=True)
+        assert {r["n"] for r in rows} == {1, 2, 4}
+        assert all(r["naive_ms"] > 0 for r in rows)
+        assert all(r["selected"] in ("naive", "straus", "pippenger") for r in rows)
+        emitted = tmp_path / "BENCH_multiexp.json"
+        assert emitted.exists()
+        import json
+
+        payload = json.loads(emitted.read_text())
+        assert payload["bench"] == "multiexp"
+        assert len(payload["rows"]) == 3
 
     def test_comm_rows(self):
         from repro.bench.runner import run_comm

@@ -1,45 +1,193 @@
-"""Multi-exponentiation and fixed-base tables match naive evaluation."""
+"""Multi-exponentiation engine: all tiers agree with naive evaluation.
+
+Cross-backend property tests assert naive == straus == pippenger on
+random and edge inputs (empty batches, zero and negative exponents,
+duplicate bases, batch sizes straddling every tier boundary) for the
+Schnorr, ristretto255, and P-256 kernels plus the generic fallback.
+"""
 
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.crypto.multiexp import FixedBaseTable, multi_exponentiation
+from repro.crypto.multiexp import (
+    FixedBaseTable,
+    GenericKernel,
+    kernel_for,
+    multi_exponentiation,
+    select_algorithm,
+)
 from repro.errors import ParameterError
 from repro.utils.rng import SeededRNG
 
 scalars = st.integers(min_value=0, max_value=2**70)
+signed_scalars = st.integers(min_value=-(2**70), max_value=2**70)
+
+ALGORITHMS = ("naive", "straus", "pippenger")
+
+# Batch sizes at and around every tier boundary of the 128-bit Schnorr
+# profile (naive ≤ ~4, straus ≤ ~12, pippenger beyond) plus a large one.
+TIER_SIZES = (1, 2, 3, 4, 5, 8, 12, 13, 16, 33, 100)
+
+
+def naive_product(group, bases, exps):
+    acc = group.identity()
+    for base, e in zip(bases, exps):
+        acc = acc * base ** e
+    return acc
+
+
+def random_instance(group, n, seed):
+    rng = SeededRNG(seed)
+    bases = [group.random_element(rng) for _ in range(n)]
+    exps = [rng.randrange(-group.order, group.order) for _ in range(n)]
+    if n >= 3:
+        bases[1] = bases[0]  # duplicate base
+        exps[2] = 0  # zero exponent
+    return bases, exps
 
 
 class TestMultiExponentiation:
-    @given(st.lists(scalars, min_size=0, max_size=8))
+    @given(st.lists(signed_scalars, min_size=0, max_size=8))
     @settings(max_examples=30)
     def test_matches_naive(self, group64, exps):
         rng = SeededRNG("me")
         bases = [group64.random_element(rng) for _ in exps]
-        expected = group64.identity()
-        for base, e in zip(bases, exps):
-            expected = expected * base ** e
+        expected = naive_product(group64, bases, exps)
         assert multi_exponentiation(group64, bases, exps) == expected
 
-    def test_empty(self, group64):
-        assert multi_exponentiation(group64, [], []) == group64.identity()
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    @pytest.mark.parametrize("n", TIER_SIZES)
+    def test_tiers_agree_schnorr(self, group64, n, algorithm):
+        bases, exps = random_instance(group64, n, f"t{n}")
+        expected = naive_product(group64, bases, exps)
+        got = multi_exponentiation(group64, bases, exps, algorithm=algorithm)
+        assert got == expected
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    @pytest.mark.parametrize("n", (1, 3, 13, 40))
+    def test_tiers_agree_ristretto(self, ristretto, n, algorithm):
+        bases, exps = random_instance(ristretto, n, f"r{n}")
+        expected = naive_product(ristretto, bases, exps)
+        assert multi_exponentiation(ristretto, bases, exps, algorithm=algorithm) == expected
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    @pytest.mark.parametrize("n", (1, 3, 13, 40))
+    def test_tiers_agree_p256(self, n, algorithm):
+        from repro.crypto.p256 import P256Group
+
+        group = P256Group.instance()
+        bases, exps = random_instance(group, n, f"p{n}")
+        expected = naive_product(group, bases, exps)
+        assert multi_exponentiation(group, bases, exps, algorithm=algorithm) == expected
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_tiers_agree_generic_kernel(self, group64, algorithm, monkeypatch):
+        # Knock out the Schnorr kernel so the GroupElement fallback runs.
+        monkeypatch.setattr(type(group64), "multiexp_kernel", lambda self: None)
+        assert isinstance(kernel_for(group64), GenericKernel)
+        bases, exps = random_instance(group64, 9, "gen")
+        expected = naive_product(group64, bases, exps)
+        assert multi_exponentiation(group64, bases, exps, algorithm=algorithm) == expected
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_empty(self, group64, algorithm):
+        assert multi_exponentiation(group64, [], [], algorithm=algorithm) == group64.identity()
 
     def test_single(self, group64):
         g = group64.generator()
         assert multi_exponentiation(group64, [g], [12345]) == g ** 12345
 
-    def test_all_zero_exponents(self, group64):
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_all_zero_exponents(self, group64, algorithm):
         g = group64.generator()
-        assert multi_exponentiation(group64, [g, g], [0, 0]) == group64.identity()
+        got = multi_exponentiation(group64, [g, g], [0, 0], algorithm=algorithm)
+        assert got == group64.identity()
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_negative_exponents(self, group64, algorithm):
+        g = group64.generator()
+        got = multi_exponentiation(group64, [g, g ** 3], [-1, -5], algorithm=algorithm)
+        assert got == (g ** (group64.order - 1)) * (g ** (3 * (group64.order - 5)))
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_duplicate_bases(self, group64, algorithm):
+        g = group64.generator()
+        got = multi_exponentiation(group64, [g, g, g], [5, 7, 11], algorithm=algorithm)
+        assert got == g ** 23
 
     def test_mismatch(self, group64):
         with pytest.raises(ParameterError):
             multi_exponentiation(group64, [group64.generator()], [1, 2])
 
+    def test_unknown_algorithm(self, group64):
+        with pytest.raises(ParameterError):
+            multi_exponentiation(group64, [group64.generator()], [3], algorithm="montgomery")
+        with pytest.raises(ParameterError):  # validated even for degenerate batches
+            multi_exponentiation(group64, [], [], algorithm="montgomery")
+
     def test_on_ristretto(self, ristretto):
         g = ristretto.generator()
         bases = [g ** 3, g ** 5]
         assert multi_exponentiation(ristretto, bases, [2, 4]) == g ** 26
+
+
+class TestSelection:
+    def test_trivial_cases_are_naive(self):
+        assert select_algorithm(0, 128) == "naive"
+        assert select_algorithm(1, 128) == "naive"
+        assert select_algorithm(100, 1) == "naive"
+
+    def test_large_batches_use_pippenger(self):
+        for bits in (127, 252, 2047):
+            assert select_algorithm(4096, bits) == "pippenger"
+
+    def test_monotone_tiers_128(self):
+        # Order along n must be naive* straus* pippenger* (no interleaving).
+        picks = [select_algorithm(n, 127) for n in range(1, 300)]
+        ranks = [("naive", "straus", "pippenger").index(p) for p in picks]
+        assert ranks == sorted(ranks)
+
+    def test_wide_groups_prefer_shared_chain_early(self):
+        # modp-2048 profile: one C pow is ~2047 muls, so Straus' shared
+        # square chain wins from n = 2 already.
+        assert select_algorithm(2, 2047, native_pow=True, op_overhead=0.05) == "straus"
+
+    def test_curve_backends_skip_naive_early(self):
+        assert select_algorithm(2, 252, native_pow=False, op_overhead=0.1) == "straus"
+
+
+class TestKernels:
+    def test_raw_roundtrip(self, group64, ristretto):
+        from repro.crypto.p256 import P256Group
+
+        for group in (group64, ristretto, P256Group.instance()):
+            kernel = kernel_for(group)
+            element = group.random_element(SeededRNG(f"rt-{group.name}"))
+            assert kernel.from_raw(kernel.to_raw(element)) == element
+            assert kernel.from_raw(kernel.identity_raw) == group.identity()
+
+    def test_mul_sqr_neg_consistent(self, group64, ristretto):
+        from repro.crypto.p256 import P256Group
+
+        for group in (group64, ristretto, P256Group.instance()):
+            kernel = kernel_for(group)
+            rng = SeededRNG(f"k-{group.name}")
+            a, b = group.random_element(rng), group.random_element(rng)
+            ra, rb = kernel.to_raw(a), kernel.to_raw(b)
+            assert kernel.from_raw(kernel.mul(ra, rb)) == a * b
+            assert kernel.from_raw(kernel.sqr(ra)) == a * a
+            (neg,) = kernel.neg_many([ra])
+            assert kernel.from_raw(neg) == ~a
+
+    def test_p256_normalize_many(self):
+        from repro.crypto.p256 import P256Group
+
+        group = P256Group.instance()
+        rng = SeededRNG("norm")
+        points = [group.random_element(rng) ** 7 for _ in range(5)] + [group.identity()]
+        normalized = group.normalize_many(points)
+        assert [p.to_bytes() for p in normalized] == [p.to_bytes() for p in points]
+        assert all(p.Z == 1 for p in normalized if not p.is_infinity())
 
 
 class TestFixedBaseTable:
@@ -64,6 +212,13 @@ class TestFixedBaseTable:
             FixedBaseTable(group64.generator(), window=0)
         with pytest.raises(ParameterError):
             FixedBaseTable(group64.generator(), window=99)
+
+    def test_raw_tables_cached(self, group64):
+        table = _table64(group64)
+        kernel = kernel_for(group64)
+        rows = table.raw_tables(kernel)
+        assert rows is table.raw_tables(kernel)
+        assert kernel.from_raw(rows[0][1]) == table.base
 
 
 _cached = {}

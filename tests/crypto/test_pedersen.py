@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.crypto.pedersen import Commitment, Opening, PedersenParams
-from repro.errors import CommitmentOpeningError
+from repro.errors import CommitmentOpeningError, ParameterError
 from repro.utils.rng import SeededRNG
 
 values = st.integers(min_value=0, max_value=2**62)
@@ -116,3 +116,46 @@ class TestParams:
     def test_opening_addition_guard(self):
         with pytest.raises(TypeError):
             Opening(1, 2) + Opening(3, 4)
+
+
+class TestCommitMany:
+    def test_matches_commit(self, pedersen64, rng):
+        values = [rng.field_element(pedersen64.q) for _ in range(9)] + [0, 1]
+        rands = [rng.field_element(pedersen64.q) for _ in range(11)]
+        fused = pedersen64.commit_many(values, rands)
+        for c, x, r in zip(fused, values, rands):
+            assert c.element == pedersen64.commit(x, r).element
+
+    def test_empty(self, pedersen64):
+        assert pedersen64.commit_many([], []) == []
+
+    def test_length_mismatch(self, pedersen64):
+        with pytest.raises(ParameterError):
+            pedersen64.commit_many([1, 2], [3])
+
+    def test_unreduced_inputs(self, pedersen64):
+        q = pedersen64.q
+        (c,) = pedersen64.commit_many([q + 5], [-3])
+        assert c.element == pedersen64.commit(5, q - 3).element
+
+    def test_commit_vector_uses_fused_path(self, pedersen64):
+        cs, os_ = pedersen64.commit_vector([0, 1, 1, 0], SeededRNG("cv"))
+        for c, o in zip(cs, os_):
+            assert pedersen64.opens_to(c, o)
+
+    def test_ristretto_backend(self, ristretto):
+        pp = PedersenParams(ristretto)
+        fused = pp.commit_many([7, 8], [9, 10])
+        assert fused[0].element == pp.commit(7, 9).element
+        assert fused[1].element == pp.commit(8, 10).element
+
+
+class TestConstantCache:
+    def test_zero_and_one_cached(self, pedersen64):
+        assert pedersen64.commitment_to_constant(0) is pedersen64.commitment_to_constant(0)
+        assert pedersen64.commitment_to_constant(1) is pedersen64.commitment_to_constant(1)
+
+    def test_cached_values_correct(self, pedersen64):
+        assert pedersen64.commitment_to_constant(0).element == pedersen64.commit(0, 0).element
+        assert pedersen64.commitment_to_constant(1).element == pedersen64.commit(1, 0).element
+        assert pedersen64.commitment_to_constant(pedersen64.q).element == pedersen64.commit(0, 0).element

@@ -1,0 +1,61 @@
+"""Perf-regression canary: ``pytest -m perfsmoke``.
+
+A reduced version of the batched-verification benchmark that runs in
+well under a second, so it can ride along in the tier-1 suite (and be
+selected alone with ``-m perfsmoke`` in CI).  The thresholds are
+deliberately loose — the canary exists to catch the batch path silently
+degenerating to per-proof work (a >5× regression), not to measure.
+"""
+
+import time
+
+import pytest
+
+from repro.crypto.fiat_shamir import Transcript
+from repro.crypto.pedersen import PedersenParams
+from repro.crypto.schnorr_group import SchnorrGroup
+from repro.crypto.sigma.batch import batch_verify_bits
+from repro.crypto.sigma.or_bit import prove_bits, verify_bits
+from repro.utils.rng import SeededRNG
+
+pytestmark = pytest.mark.perfsmoke
+
+N = 192
+
+
+@pytest.fixture(scope="module")
+def pedersen128():
+    return PedersenParams(SchnorrGroup.named("p128-sim"))
+
+
+@pytest.fixture(scope="module")
+def proof_batch(pedersen128):
+    rng = SeededRNG("perfsmoke")
+    bits = [rng.coin() for _ in range(N)]
+    cs, os_ = pedersen128.commit_vector(bits, rng)
+    proofs = prove_bits(pedersen128, cs, os_, Transcript("ps"), rng)
+    return cs, proofs
+
+
+def test_batch_beats_sequential(pedersen128, proof_batch):
+    cs, proofs = proof_batch
+    start = time.perf_counter()
+    verify_bits(pedersen128, cs, proofs, Transcript("ps"))
+    sequential = time.perf_counter() - start
+
+    start = time.perf_counter()
+    batch_verify_bits(pedersen128, cs, proofs, Transcript("ps"), SeededRNG("g"))
+    batched = time.perf_counter() - start
+    # Expected ~4-7x at n=192; 1.5x is the do-not-regress floor.
+    assert batched * 1.5 < sequential, (
+        f"batched {batched * 1e3:.1f}ms vs sequential {sequential * 1e3:.1f}ms"
+    )
+
+
+def test_batch_absolute_budget(pedersen128, proof_batch):
+    """Batched verification of 192 proofs stays under a generous budget."""
+    cs, proofs = proof_batch
+    start = time.perf_counter()
+    batch_verify_bits(pedersen128, cs, proofs, Transcript("ps"), SeededRNG("g"))
+    batched = time.perf_counter() - start
+    assert batched < 0.25, f"batched path took {batched * 1e3:.0f}ms for {N} proofs"

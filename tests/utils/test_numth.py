@@ -5,6 +5,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.errors import ParameterError
 from repro.utils.numth import (
+    batch_inverse,
     crt_pair,
     inverse_mod,
     is_probable_prime,
@@ -124,3 +125,21 @@ class TestCrt:
         m1, m2 = 10_007, 10_009
         x %= m1 * m2
         assert crt_pair(x % m1, m1, x % m2, m2) == x
+
+
+class TestBatchInverse:
+    def test_matches_individual_inverses(self):
+        m = 10007
+        values = [1, 2, 3, 9999, 123, 2, 5000]
+        assert batch_inverse(values, m) == [inverse_mod(v, m) for v in values]
+
+    def test_empty(self):
+        assert batch_inverse([], 97) == []
+
+    def test_unreduced_and_negative(self):
+        m = 101
+        assert batch_inverse([102, -1], m) == [inverse_mod(1, m), inverse_mod(100, m)]
+
+    def test_zero_rejected(self):
+        with pytest.raises(ParameterError):
+            batch_inverse([3, 0, 5], 97)

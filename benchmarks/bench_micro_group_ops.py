@@ -3,7 +3,7 @@
 Paper (native code, Apple M1): one exponentiation costs 35 µs on
 Gq ⊂ Z*p and 328 µs on Ristretto.  In pure Python the ordering inverts
 (255-bit Edwards beats 2048-bit ``pow``); both numbers are reported and
-the inversion is documented in EXPERIMENTS.md.
+the inversion is documented in repro.bench.runner.run_micro.
 """
 
 import pytest

@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Streamed vs buffered session verification at (near-)paper scale.
+
+The paper's verifier holds all nb = 262,144 Σ-OR coin proofs at once;
+the streaming :class:`repro.api.Session` folds them chunk by chunk into
+an evolving transcript + running Line 12 products, so peak memory is
+O(chunk).  This script measures both modes — proofs verified per second
+and the tracemalloc allocation peak (the in-process stand-in for peak
+verifier RSS; ``ru_maxrss`` is also recorded for the whole process) —
+and emits ``BENCH_streaming.json``, the checked-in evidence for the
+acceptance bar: a streamed nb >= 65,536 run peaks below 25% of the
+buffered path.
+
+Usage:
+    python benchmarks/bench_streaming_session.py              # nb = 65,536
+    REPRO_STREAM_NB=262144 python benchmarks/bench_streaming_session.py
+    REPRO_STREAM_NB=2048 python benchmarks/bench_streaming_session.py  # quick
+
+The shared driver lives in :func:`repro.bench.runner.run_streaming`
+(also reachable as ``python -m repro streaming``, which defaults to a
+scaled-down nb).
+"""
+
+import os
+import resource
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.bench.format import print_table  # noqa: E402
+from repro.bench.runner import run_streaming  # noqa: E402
+
+
+def main() -> int:
+    nb = int(os.environ.get("REPRO_STREAM_NB", "65536"))
+    rows = run_streaming(nb=nb, emit_json=True)
+    print_table(rows[:-1], title=f"== streamed vs buffered session (nb={nb}) ==")
+    print(f"process ru_maxrss: "
+          f"{resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024:.0f} MB")
+    ratio = rows[-1]["peak_mem_ratio"]
+    print(f"\nstreamed/buffered peak memory ratio: {ratio:.3f}")
+    if ratio >= 0.25:
+        print("FAIL: streamed peak not below 25% of buffered", file=sys.stderr)
+        return 1
+    print("OK: streamed peak < 25% of buffered")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,19 +17,27 @@ information-theoretic verifiable DP cannot exist.
 Run:  python examples/audit_and_separation.py
 """
 
-from repro import setup, VerifiableBinomialProtocol
+from repro import CountQuery, Session, setup
 from repro.analysis.separation import demonstrate_separation
+from repro.api.engine import ProtocolEngine
+from repro.core.client import Client
 from repro.core.verifier import PublicVerifier
 from repro.utils.rng import SeededRNG
 
 
 def third_party_replay() -> None:
-    params = setup(1.0, 2**-10, num_provers=1, group="p128-sim", nb_override=32)
-    protocol = VerifiableBinomialProtocol(params, rng=SeededRNG("audit"))
+    session = Session(
+        CountQuery(epsilon=1.0, delta=2**-10),
+        num_provers=1,
+        group="p128-sim",
+        nb_override=32,
+        rng=SeededRNG("audit"),
+    )
     bits = [1, 1, 0, 1, 0]
-    result = protocol.run_bits(bits)
+    session.submit(bits)
+    result = session.release()
     print("— part 1: third-party audit replay —")
-    print(f"  original verifier accepted: {result.release.accepted}")
+    print(f"  original verifier accepted: {result.accepted}")
 
     # A third party reruns client validation from the public broadcasts.
     # (In this simulation we reconstruct the broadcasts by re-running the
@@ -38,15 +46,17 @@ def third_party_replay() -> None:
     # batch=False: an auditor whose RNG is public (it must be, for anyone
     # to reproduce the verdicts) cannot rely on the random-linear-
     # combination batch — its weights would be predictable to a forger.
+    params = setup(1.0, 2**-10, num_provers=1, group="p128-sim", nb_override=32)
     replica = PublicVerifier(params, SeededRNG("auditor"), name="newspaper", batch=False)
-    protocol2 = VerifiableBinomialProtocol(
-        params, verifier=replica, rng=SeededRNG("audit")
+    engine = ProtocolEngine(params, verifier=replica, rng=SeededRNG("audit"))
+    engine.submit_clients(
+        Client(f"client-{i}", [bit], SeededRNG(f"c{i}")) for i, bit in enumerate(bits)
     )
-    replay = protocol2.run_bits(bits)
+    replay = engine.run_release()
     print(f"  newspaper's replica agrees: {replay.release.accepted}")
     print(f"  identical audit verdicts  : "
-          f"{replay.release.audit.clients == result.release.audit.clients}\n")
-    assert replay.release.accepted == result.release.accepted
+          f"{replay.release.audit.clients == result.results[0].audit.clients}\n")
+    assert replay.release.accepted == result.accepted
 
 
 def separation_demo() -> None:

@@ -7,16 +7,17 @@ published histogram must be differentially private, and a corrupted
 server must not be able to "nudge" the winner and blame DP noise.
 
 The run below shows, in order:
-1. an honest 2-server election (client-server MPC-DP, like PRIO/Poplar);
+1. an honest 2-server election (client-server MPC-DP, like PRIO/Poplar)
+   through the declarative HistogramQuery/Session API;
 2. a corrupted server trying to exclude a voter — caught and named;
 3. a dishonest voter submitting 3 votes at once — rejected publicly.
 
 Run:  python examples/election_mpc.py
 """
 
-from repro import VerifiableHistogram, setup
-from repro.core.client import Client, NonBinaryClient, encode_choice
-from repro.core.protocol import VerifiableBinomialProtocol
+from repro import HistogramQuery, Session, setup
+from repro.api.engine import ProtocolEngine
+from repro.core.client import Client, NonBinaryClient
 from repro.core.prover import InputDroppingProver, Prover
 from repro.utils.rng import SeededRNG
 
@@ -25,22 +26,24 @@ TOPPINGS = ["margherita", "mushroom", "hawaiian", "anchovy"]
 
 def honest_election() -> None:
     votes = [0] * 18 + [1] * 9 + [2] * 4 + [3] * 2  # margherita landslide
-    hist = VerifiableHistogram(
-        bins=len(TOPPINGS),
-        epsilon=1.0,
-        delta=2**-10,
-        params=setup(1.0, 2**-10, num_provers=2, dimension=4,
-                     group="p128-sim", nb_override=16),
+    session = Session(
+        HistogramQuery(bins=len(TOPPINGS), epsilon=1.0, delta=2**-10),
+        num_provers=2,
+        group="p128-sim",
+        nb_override=16,
         rng=SeededRNG("election"),
     )
-    release, result = hist.run(votes)
+    session.submit(votes)
+    result = session.release()
+    histogram = result.results[0]
     print("— honest 2-server election —")
-    print(f"  accepted: {release.accepted}   ({hist.privacy_note})")
-    for name, count in zip(TOPPINGS, release.counts):
+    print(f"  accepted: {result.accepted}   "
+          f"(charged end-to-end budget: {session.accountant.ledger()})")
+    for name, count in zip(TOPPINGS, histogram.counts):
         print(f"  {name:12s} {count:+6.1f}")
-    print(f"  winner: {TOPPINGS[release.argmax()]}\n")
-    assert release.accepted
-    assert release.argmax() == 0  # landslide survives the noise
+    print(f"  winner: {TOPPINGS[histogram.argmax()]}\n")
+    assert result.accepted
+    assert histogram.argmax() == 0  # landslide survives the noise
 
 
 def corrupted_server() -> None:
@@ -49,9 +52,11 @@ def corrupted_server() -> None:
         Prover("server-A", params, SeededRNG("A")),
         InputDroppingProver("server-B", params, SeededRNG("B"), victim="voter-0"),
     ]
-    protocol = VerifiableBinomialProtocol(params, provers=provers, rng=SeededRNG("cs"))
-    voters = [Client(f"voter-{i}", [1], SeededRNG(f"v{i}")) for i in range(8)]
-    release = protocol.run(voters).release
+    engine = ProtocolEngine(params, provers=provers, rng=SeededRNG("cs"))
+    engine.submit_clients(
+        Client(f"voter-{i}", [1], SeededRNG(f"v{i}")) for i in range(8)
+    )
+    release = engine.run_release().release
     print("— corrupted server drops voter-0's ballot —")
     print(f"  accepted: {release.accepted}")
     print(f"  audit   : { {k: v.value for k, v in release.audit.provers.items()} }\n")
@@ -60,10 +65,11 @@ def corrupted_server() -> None:
 
 def dishonest_voter() -> None:
     params = setup(1.0, 2**-10, num_provers=2, group="p128-sim", nb_override=16)
-    protocol = VerifiableBinomialProtocol(params, rng=SeededRNG("dv"))
+    engine = ProtocolEngine(params, rng=SeededRNG("dv"))
     voters = [Client(f"voter-{i}", [i % 2], SeededRNG(f"v{i}")) for i in range(6)]
     voters.append(NonBinaryClient("stuffer", [3], SeededRNG("s")))  # 3 votes!
-    release = protocol.run(voters).release
+    engine.submit_clients(voters)
+    release = engine.run_release().release
     print("— ballot stuffer submits x = 3 —")
     print(f"  accepted: {release.accepted} (the election stands)")
     print(f"  stuffer : {release.audit.clients['stuffer'].value}")

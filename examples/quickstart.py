@@ -7,45 +7,61 @@ the curator's noise; with ΠBin the curator also convinces a public
 verifier — without revealing the noise — that the release is the true
 count plus honest Binomial randomness.
 
+The query API is declarative: describe *what* to release (a CountQuery
+at a given budget), submit clients, release.  The Session underneath is
+an explicit phase machine (ENROLL → VALIDATE → COMMIT_COINS → MORRA →
+ADJUST → RELEASE); pass ``chunk_size`` to stream millions of clients
+through it in O(chunk) memory.
+
 Run:  python examples/quickstart.py
 """
 
-from repro import setup, VerifiableBinomialProtocol
+from repro import CountQuery, Session
+from repro.api.engine import ProtocolEngine
+from repro.core.client import Client
 from repro.core.prover import OutputTamperingProver
 from repro.utils.rng import SeededRNG
 
 
 def main() -> None:
-    # 1. Agree on public parameters: privacy budget, group, one curator.
+    # 1. Describe the query: privacy budget, one curator, demo-sized group.
     #    (p128-sim keeps this demo fast; use "modp-2048" in production.)
-    params = setup(
-        epsilon=1.0,
-        delta=2**-10,
+    query = CountQuery(epsilon=1.0, delta=2**-10)
+    session = Session(
+        query,
         num_provers=1,
         group="p128-sim",
         nb_override=64,  # demo-sized coin count; omit to use Lemma 2.1
+        rng=SeededRNG("quickstart"),
     )
+    params = session.params
     print(f"public parameters: eps={params.epsilon:.3g} delta={params.delta:.3g} "
           f"nb={params.nb} coins, group={params.group.name}")
 
-    # 2. Run the protocol over the clients' bits.
+    # 2. Submit the clients' bits (chunked — call submit as data arrives).
     bits = [1, 0, 1, 1, 0, 1, 1, 1, 0, 0, 1, 1]
-    protocol = VerifiableBinomialProtocol(params, rng=SeededRNG("quickstart"))
-    result = protocol.run_bits(bits)
+    session.submit(bits[:6])
+    session.submit(bits[6:])
+    result = session.release()
 
-    release = result.release
+    count = result.results[0]
     print(f"\ntrue count            : {sum(bits)}")
-    print(f"verified DP estimate  : {release.scalar_estimate:+.1f}")
-    print(f"verifier accepted     : {release.accepted}")
-    print(f"clients validated     : {len(release.audit.valid_clients())}/{len(bits)}")
+    print(f"verified DP estimate  : {count.estimate:+.1f}")
+    print(f"verifier accepted     : {result.accepted}")
+    print(f"clients validated     : {len(count.audit.valid_clients())}/{len(bits)}")
+    print(f"budget ledger         : {session.accountant.ledger()}")
     print("stage timings (ms)    : "
-          + ", ".join(f"{k}={v:.0f}" for k, v in result.timer.milliseconds().items()))
+          + ", ".join(f"{k}={v:.0f}" for k, v in count.timer.milliseconds().items()))
 
     # 3. The point of the paper: a curator that shades the tally by +5
-    #    "noise" is caught deterministically, not statistically.
+    #    "noise" is caught deterministically, not statistically.  Custom
+    #    (cheating) parties plug into the same engine the Session drives.
     cheater = OutputTamperingProver("prover-0", params, SeededRNG("cheat"), bias=5)
-    rigged = VerifiableBinomialProtocol(params, provers=[cheater], rng=SeededRNG("r"))
-    bad = rigged.run_bits(bits).release
+    engine = ProtocolEngine(params, provers=[cheater], rng=SeededRNG("r"))
+    engine.submit_clients(
+        Client(f"client-{i}", [bit], SeededRNG(f"c{i}")) for i, bit in enumerate(bits)
+    )
+    bad = engine.run_release().release
     print(f"\ntampering curator     : accepted={bad.accepted} "
           f"audit={ {k: v.value for k, v in bad.audit.provers.items()} }")
     assert not bad.accepted

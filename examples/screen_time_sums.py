@@ -2,71 +2,87 @@
 """Extension demo: verifiable DP *sums* of bounded values.
 
 The paper's protocol verifies counting queries (bits) and one-hot
-histograms.  A natural extension — built in `repro.core.bounded_sum`
-entirely from the paper's own ingredients — handles k-bit bounded values:
-each client range-proves its value via bit-decomposition commitments
-(Σ-OR proof per bit), the value commitment is derived homomorphically,
-and the curator adds Δ-scaled verifiable Binomial noise (Lemma B.1 with
+histograms.  A natural extension — a BoundedSumQuery, built entirely
+from the paper's own ingredients — handles k-bit bounded values: each
+client range-proves its value via bit-decomposition commitments (Σ-OR
+proof per bit), the value commitment is derived homomorphically, and
+each prover adds Δ-scaled verifiable Binomial noise (Lemma B.1 with
 sensitivity Δ = 2^k - 1).
 
 Scenario: a screen-time study.  Participants report daily app minutes
 bucketed to 4-bit values (0–15, in units of 30 min).  The study publishes
-the verified DP total; a participant who claims 90 units is rejected by
-the range proof, and a curator that shades the total is caught.
+the verified DP total; a participant who forges a range proof is
+rejected by name, and a curator that shades the total is caught.
 
 Run:  python examples/screen_time_sums.py
 """
 
-from repro.core.bounded_sum import VerifiableBoundedSum
+from repro import BoundedSumQuery, Session
+from repro.api.engine import ProtocolEngine
+from repro.core.prover import OutputTamperingProver
 from repro.utils.rng import SeededRNG
 
 
 def main() -> None:
-    study = VerifiableBoundedSum(
+    query = BoundedSumQuery(
         value_bits=4,          # values in [0, 15]
         epsilon=1.0,
         delta=2**-10,
+    )
+    session = Session(
+        query,
         group="p128-sim",      # demo-sized group
         nb_override=16,        # demo-sized coin count
         rng=SeededRNG("study"),
     )
-    print(f"bounded-sum study: values in [0, {study.sensitivity}], "
-          f"eps={study.epsilon}, delta=2^-10, nb={study.params.nb} coins "
+    print(f"bounded-sum study: values in [0, {query.sensitivity}], "
+          f"eps={query.epsilon}, delta=2^-10, nb={session.params.nb} coins "
           f"(calibrated at eps/Delta per Lemma B.1)")
 
     reports = [3, 7, 12, 5, 0, 15, 9, 4, 6, 11]
-    submissions = [
-        study.submit(f"participant-{i}", v, SeededRNG(f"p{i}"))
-        for i, v in enumerate(reports)
-    ]
-    release = study.run(submissions, curator_rng=SeededRNG("curator"))
+    session.submit(reports)
+    result = session.release()
+    total = result.results[0]
     print(f"\ntrue total            : {sum(reports)}")
-    print(f"verified DP estimate  : {release.estimate:+.1f}")
-    print(f"accepted              : {release.accepted}")
-    assert release.accepted
+    print(f"verified DP estimate  : {total.estimate:+.1f}")
+    print(f"accepted              : {result.accepted}")
+    assert result.accepted
 
     # An out-of-range report cannot even be *created* honestly; a forged
-    # one (commitments shuffled to fake a big value) fails validation.
-    from repro.core.bounded_sum import RangeCommitment
+    # one (commitments shuffled to fake a big value) fails validation and
+    # is excluded by name in the public audit record.
+    import dataclasses
 
-    forged_base, forged_open = study.submit("cheater", 15, SeededRNG("f"))
-    forged = (
-        RangeCommitment(
-            "cheater",
-            forged_base.bit_commitments[::-1],  # tampered decomposition
-            forged_base.bit_proofs,
-        ),
-        forged_open,
+    params = session.params
+    forger = query.make_client("cheater", 15, SeededRNG("f"))
+    broadcast, privates = forger.submit(params)
+    forged = dataclasses.replace(
+        broadcast,
+        share_commitments=(tuple(reversed(broadcast.share_commitments[0])),),
     )
-    release2 = study.run(submissions + [forged], curator_rng=SeededRNG("curator2"))
-    print(f"\nforged range proof    : rejected={list(release2.rejected_clients)}")
-    assert release2.rejected_clients == ("cheater",)
-    assert release2.accepted
+    session2 = Session(query, group="p128-sim", nb_override=16, rng=SeededRNG("study2"))
+    session2.submit(reports)
+    session2.engines[0].submit_prepared([(forged, privates)])
+    result2 = session2.release()
+    audit2 = result2.results[0].audit
+    rejected = [cid for cid in audit2.clients if cid not in audit2.valid_clients()]
+    print(f"\nforged range proof    : rejected={rejected}")
+    assert rejected == ["cheater"]
+    assert result2.accepted
 
     # A curator shading the total by +20 "noise" is caught.
-    release3 = study.run(submissions, curator_rng=SeededRNG("curator3"), tamper_bias=20)
-    print(f"tampering curator     : accepted={release3.accepted}")
-    assert not release3.accepted
+    cheater = OutputTamperingProver(
+        "prover-0", params, SeededRNG("bias"), bias=20, plan=query.build_plan()
+    )
+    engine = ProtocolEngine(
+        params, plan=query.build_plan(), provers=[cheater], rng=SeededRNG("study3")
+    )
+    engine.submit_clients(
+        query.make_client(f"p-{i}", v, SeededRNG(f"p{i}")) for i, v in enumerate(reports)
+    )
+    result3 = engine.run_release().release
+    print(f"tampering curator     : accepted={result3.accepted}")
+    assert not result3.accepted
 
 
 if __name__ == "__main__":

@@ -1,5 +1,5 @@
 """repro — a full reproduction of *Verifiable Differential Privacy*
-(Biswas & Cormode).
+(Narayan, Feldman, Papadimitriou & Haeberlen, EuroSys 2015).
 
 Differential privacy's randomness is an attack surface: a malicious
 aggregator can bias "noise" and claim innocence.  This library implements
@@ -10,19 +10,33 @@ with every substrate it stands on and every baseline it is compared to.
 
 Quick start (trusted curator)::
 
-    from repro import setup, VerifiableBinomialProtocol
+    from repro import CountQuery, Session
 
-    params = setup(epsilon=1.0, delta=2**-10, num_provers=1, group="p128-sim")
-    protocol = VerifiableBinomialProtocol(params)
-    result = protocol.run_bits([1, 0, 1, 1, 0, 1])
-    assert result.release.accepted          # proofs checked out
-    print(result.release.scalar_estimate)   # DP count (noise mean removed)
+    session = Session(CountQuery(epsilon=1.0, delta=2**-10), group="p128-sim")
+    session.submit([1, 0, 1, 1, 0, 1])
+    result = session.release()
+    assert result.accepted                  # proofs checked out
+    print(result.results[0].estimate)       # DP count (noise mean removed)
 
-See ``examples/`` for the MPC election and telemetry scenarios, DESIGN.md
-for the architecture and experiment index, and EXPERIMENTS.md for
-measured-vs-paper results.
+Histograms, bounded sums and composed multi-query workloads run through
+the same :class:`~repro.api.Session` engine — declaratively via
+:mod:`repro.api` queries, in chunks via ``chunk_size`` for O(chunk)
+verifier memory at paper scale (nb = 262,144).  See ``README.md`` for
+the tour, ``DESIGN.md`` for the phase state machine, and ``examples/``
+for the MPC election and telemetry scenarios.
 """
 
+from repro.api import (
+    BoundedSumQuery,
+    ComposedQuery,
+    CountQuery,
+    HistogramQuery,
+    Phase,
+    Query,
+    QueryResult,
+    Session,
+    SessionResult,
+)
 from repro.core import (
     Client,
     PublicParams,
@@ -48,32 +62,48 @@ from repro.errors import (
     ProtocolAbort,
     ProverCheatingDetected,
     ReproError,
+    SessionStateError,
     VerificationError,
 )
 
-__version__ = "1.0.0"
+__version__ = "2.0.0"
 
 __all__ = [
+    # Declarative query/session API (the advertised surface).
+    "Query",
+    "CountQuery",
+    "HistogramQuery",
+    "BoundedSumQuery",
+    "ComposedQuery",
+    "Session",
+    "SessionResult",
+    "QueryResult",
+    "Phase",
+    # Protocol substrate.
     "setup",
     "PublicParams",
-    "VerifiableBinomialProtocol",
-    "VerifiableHistogram",
     "Client",
     "Prover",
     "PublicVerifier",
     "Release",
     "encode_choice",
+    # Legacy shims (deprecated; kept for one release).
+    "VerifiableBinomialProtocol",
+    "VerifiableHistogram",
+    # Mechanisms.
     "BinomialMechanism",
     "LaplaceMechanism",
     "GaussianMechanism",
     "RandomizedResponse",
     "coins_for_privacy",
     "epsilon_for_coins",
+    # Errors.
     "ReproError",
     "VerificationError",
     "ProofRejected",
     "ProtocolAbort",
     "ProverCheatingDetected",
     "ClientInputRejected",
+    "SessionStateError",
     "__version__",
 ]

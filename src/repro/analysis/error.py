@@ -12,8 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
-from repro.core.params import setup
-from repro.core.protocol import VerifiableBinomialProtocol
+from repro.api import CountQuery, Session
 from repro.dp.mechanism import Mechanism
 from repro.dp.randomized_response import RandomizedResponse
 from repro.errors import ParameterError
@@ -88,15 +87,20 @@ def protocol_error(
     Expensive (each trial is a complete protocol execution); benchmarks
     use modest trial counts and the scaled test group.
     """
-    params = setup(
-        epsilon, delta, num_provers=num_provers, group=group, nb_override=nb_override
-    )
+    query = CountQuery(epsilon, delta)
     true = float(sum(dataset_bits))
     total = 0.0
     for t in range(trials):
-        protocol = VerifiableBinomialProtocol(params, rng=SeededRNG(f"{seed}-{t}"))
-        result = protocol.run_bits(list(dataset_bits))
-        if not result.release.accepted:
+        session = Session(
+            query,
+            num_provers=num_provers,
+            group=group,
+            nb_override=nb_override,
+            rng=SeededRNG(f"{seed}-{t}"),
+        )
+        session.submit(list(dataset_bits))
+        result = session.release()
+        if not result.accepted:
             raise ParameterError("honest run unexpectedly rejected")
-        total += abs(result.release.scalar_estimate - true)
+        total += abs(result.results[0].estimate - true)
     return total / trials

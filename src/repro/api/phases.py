@@ -1,0 +1,78 @@
+"""The session engine's phase state machine.
+
+ΠBin (Figure 2) is one protocol machine; the phases name its rounds:
+
+``ENROLL``
+    Clients submit share commitments + validity proofs; provers check
+    their private openings.  Streaming sessions fold each chunk's
+    validation and Line 13 client products here, eagerly, so nothing but
+    the audit verdicts and running products survives the chunk.
+``VALIDATE``
+    The public client record is finalized (Line 3) and the context digest
+    binding all broadcasts is fixed — after this point no client can join
+    and every coin proof is bound to the complete client phase.
+``COMMIT_COINS``
+    Provers commit nb × L private coins with Σ-OR bit proofs (Lines 4–6);
+    the verifier checks them (batched, or chunk by chunk).
+``MORRA``
+    Prover and verifier co-sample public bits (Lines 7–8, Algorithm 1).
+``ADJUST``
+    Line 9/12: provers fold v̂ = v ⊕ b into their running sums, the
+    verifier folds the homomorphic ĉ' products.  Streaming sessions loop
+    ``COMMIT_COINS → MORRA → ADJUST`` once per chunk per prover — each
+    coin is still committed strictly before its public bit is drawn.
+``RELEASE``
+    Prover outputs (Lines 10–11), the Line 13 check, aggregation and the
+    audit record.
+``DONE``
+    Terminal; the session cannot be reused.
+
+Transitions outside :data:`TRANSITIONS` raise
+:class:`repro.errors.SessionStateError` — the ordering ("commit before
+Morra") is a soundness requirement, not a style choice.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from repro.errors import SessionStateError
+
+__all__ = ["Phase", "TRANSITIONS", "advance"]
+
+
+class Phase(Enum):
+    """Lifecycle phase of a protocol session."""
+
+    ENROLL = "enroll"
+    VALIDATE = "validate"
+    COMMIT_COINS = "commit-coins"
+    MORRA = "morra"
+    ADJUST = "adjust"
+    RELEASE = "release"
+    DONE = "done"
+
+
+TRANSITIONS: dict[Phase, frozenset[Phase]] = {
+    Phase.ENROLL: frozenset({Phase.VALIDATE}),
+    Phase.VALIDATE: frozenset({Phase.COMMIT_COINS}),
+    # COMMIT_COINS → COMMIT_COINS covers a streamed prover failing its
+    # first chunk while the next prover starts; → RELEASE covers every
+    # prover failing coin validation (the run still releases an audit).
+    Phase.COMMIT_COINS: frozenset(
+        {Phase.MORRA, Phase.COMMIT_COINS, Phase.RELEASE}
+    ),
+    Phase.MORRA: frozenset({Phase.ADJUST}),
+    Phase.ADJUST: frozenset({Phase.COMMIT_COINS, Phase.MORRA, Phase.RELEASE}),
+    Phase.RELEASE: frozenset({Phase.DONE}),
+    Phase.DONE: frozenset(),
+}
+
+
+def advance(current: Phase, target: Phase) -> Phase:
+    """Validate a transition; returns ``target`` or raises."""
+    if target not in TRANSITIONS[current]:
+        raise SessionStateError(
+            f"illegal phase transition {current.value!r} -> {target.value!r}"
+        )
+    return target

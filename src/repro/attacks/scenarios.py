@@ -255,7 +255,11 @@ def noise_biasing_on_pibin(
     params = setup(1.0, 2**-10, num_provers=1, group=_TEST_GROUP, nb_override=32)
     cheater = OutputTamperingProver("prover-0", params, rng.fork("p0"), bias=bias)
     protocol = VerifiableBinomialProtocol(params, provers=[cheater], rng=rng)
-    result = protocol.run_bits([1 if i % 3 == 0 else 0 for i in range(n_clients)])
+    clients = [
+        Client(f"client-{i}", [1 if i % 3 == 0 else 0], rng.fork(f"client-{i}"))
+        for i in range(n_clients)
+    ]
+    result = protocol.run(clients)
     audit = result.release.audit
     detected = audit.provers.get("prover-0") is ProverStatus.FAILED_FINAL_CHECK
     return AttackOutcome(

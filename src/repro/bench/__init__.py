@@ -4,7 +4,7 @@ Each ``run_*`` function returns structured rows (plain dicts) and the
 formatting layer prints them paper-style.  The pytest-benchmark suite in
 ``benchmarks/`` wraps the same primitives; the CLI (``python -m repro``)
 is the human entry point.  See DESIGN.md for the experiment index and
-EXPERIMENTS.md for measured-vs-paper numbers.
+the checked-in BENCH_*.json files for measured-vs-paper numbers.
 """
 
 from repro.bench.format import format_table, print_table

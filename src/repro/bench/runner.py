@@ -52,6 +52,7 @@ __all__ = [
     "run_attacks",
     "run_separation",
     "run_multiexp",
+    "run_streaming",
     "write_bench_json",
     "EXPERIMENTS",
 ]
@@ -234,7 +235,7 @@ def run_micro(*, exponent_bits: int = 256, trials: int | None = None, seed: str 
     beats CPython's 2048-bit modular exponentiation, because the paper's
     comparison pits a tiny field (with vectorized native code) against a
     2048-bit one (with the same); strip the native advantage and the
-    bignum width dominates.  Reported honestly — see EXPERIMENTS.md.
+    bignum width dominates.  Reported honestly.
     """
     if trials is None:
         trials = 200 if paper_scale() else 50
@@ -473,9 +474,95 @@ def run_multiexp(
     return rows
 
 
+def run_streaming(
+    *,
+    nb: int | None = None,
+    chunk: int | None = None,
+    n_clients: int = 48,
+    group: str = "p64-sim",
+    seed: str = "streaming",
+    emit_json: bool = True,
+) -> list[dict]:
+    """Streamed vs buffered session verification: throughput and memory.
+
+    Runs the same CountQuery twice through ``repro.api.Session`` — once
+    buffered (the legacy execution shape: all nb proofs and messages held
+    at once) and once streamed in chunks — and reports proofs
+    verified/sec plus the tracemalloc peak, the in-process stand-in for
+    peak verifier RSS.  Emits ``BENCH_streaming.json``: the evidence that
+    a paper-scale nb fits in O(chunk) memory.  Set ``REPRO_PAPER_SCALE=1``
+    (or REPRO_STREAM_NB) for the nb = 65,536+ run.
+    """
+    import gc
+    import tracemalloc
+
+    from repro.api import CountQuery, Session
+
+    if nb is None:
+        env = os.environ.get("REPRO_STREAM_NB")
+        nb = int(env) if env else (65_536 if paper_scale() else 1024)
+    if chunk is None:
+        chunk = max(64, nb // 64)
+    bits = [1 if i % 3 == 0 else 0 for i in range(n_clients)]
+    query = CountQuery(1.0, PAPER_DELTA)
+
+    rows: list[dict] = []
+    peaks: dict[str, int] = {}
+    for mode, chunk_size in (("streamed", chunk), ("buffered", None)):
+        gc.collect()
+        tracemalloc.start()
+        start = time.perf_counter()
+        session = Session(
+            query,
+            group=group,
+            nb_override=nb,
+            chunk_size=chunk_size,
+            rng=SeededRNG(f"{seed}-{mode}"),
+        )
+        session.submit(bits)
+        result = session.release()
+        total = time.perf_counter() - start
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        assert result.accepted
+        stages = result.results[0].timer.stages
+        verify_s = stages.get("sigma-verification", 0.0)
+        peaks[mode] = peak
+        rows.append(
+            {
+                "mode": mode,
+                "nb": nb,
+                "chunk": chunk_size or nb,
+                "n_clients": n_clients,
+                "group": group,
+                "total_s": total,
+                "sigma_verify_s": verify_s,
+                "proofs_per_s": nb / verify_s if verify_s else float("inf"),
+                "peak_mem_mb": peak / 1e6,
+            }
+        )
+    # Summary row: dimensionless ratios under their own keys — never mixed
+    # into the seconds/MB columns above.
+    rows.append(
+        {
+            "mode": "ratio (streamed/buffered)",
+            "nb": nb,
+            "chunk": chunk,
+            "n_clients": n_clients,
+            "group": group,
+            "total_ratio": rows[0]["total_s"] / max(rows[1]["total_s"], 1e-9),
+            "peak_mem_ratio": peaks["streamed"] / max(peaks["buffered"], 1),
+        }
+    )
+    if emit_json:
+        write_bench_json("streaming", rows)
+    return rows
+
+
 EXPERIMENTS = {
     "table1": run_table1,
     "multiexp": run_multiexp,
+    "streaming": run_streaming,
     "fig3": run_fig3,
     "fig4": run_fig4,
     "table2": run_table2,

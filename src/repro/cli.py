@@ -19,6 +19,7 @@ _DESCRIPTIONS = {
     "table2": "Table 2 — qualitative properties of MPC-DP systems (validated live)",
     "micro": "Section 6 — single exponentiation latency, modp vs ristretto",
     "multiexp": "Multiexp tiers — naive/Straus/Pippenger crossover (emits BENCH_multiexp.json)",
+    "streaming": "Streamed vs buffered session verification (emits BENCH_streaming.json)",
     "err": "DP-Error — central O(1/eps) vs local O(sqrt(n)/eps)",
     "comm": "Communication — serialized proof sizes: sigma-OR vs sketch",
     "attacks": "Figure 1 — exclusion/collusion/noise-biasing, baseline vs PiBin",

@@ -12,12 +12,15 @@ The package implements Figure 2 end to end, in both models:
   Σ-OR proofs, co-samples the Morra public coins and performs the final
   homomorphic check.
 
-Entry points: :class:`repro.core.protocol.VerifiableBinomialProtocol` (one
-counting query) and :class:`repro.core.histogram.VerifiableHistogram`
-(M-bin one-hot histograms).
+Entry point: :class:`repro.api.Session` executes declarative queries
+(count, histogram, bounded sum, composed) over the substrate defined
+here.  The legacy :class:`repro.core.protocol.VerifiableBinomialProtocol`
+and :class:`repro.core.histogram.VerifiableHistogram` classes remain as
+deprecated shims over the same engine.
 """
 
 from repro.core.params import PublicParams, setup
+from repro.core.plan import AggregationPlan
 from repro.core.messages import (
     ClientBroadcast,
     ClientShareMessage,
@@ -45,6 +48,7 @@ from repro.core.bulletin import BulletinBoard, replay_audit
 __all__ = [
     "PublicParams",
     "setup",
+    "AggregationPlan",
     "ClientBroadcast",
     "ClientShareMessage",
     "CoinCommitmentMessage",

@@ -1,9 +1,15 @@
-"""Extension: verifiable DP *bounded sums* (beyond {0,1} counting).
+"""Extension: verifiable DP *bounded sums* (beyond {0,1} counting) — shim.
+
+.. deprecated::
+    Use ``repro.api.Session(BoundedSumQuery(value_bits, epsilon, delta))``
+    — the same weighted-lane engine, plus the K >= 2 MPC model, chunked
+    submission and streamed verification.  This class remains as a thin
+    shim (curator model, K = 1) and warns once per calling module.
 
 The paper's protocol handles counting queries (clients hold bits) and
 one-hot histograms.  Its concluding remarks pose richer mechanisms as
-open; the nearest natural extension — implemented here — is the sum query
-over *k-bit bounded* client values:
+open; the nearest natural extension is the sum query over *k-bit
+bounded* client values:
 
     Q(X) = Σ x_i,   x_i ∈ [0, 2^k)
 
@@ -11,31 +17,33 @@ with sensitivity Δ = 2^k - 1.  Everything reuses the paper's machinery:
 
 * a client commits to the **bit decomposition** of its value,
   c_{i,j} = Com(x_{i,j}, r_{i,j}), and proves each bit with the Σ-OR
-  proof — a classic commit-and-prove range proof;
+  proof — a classic commit-and-prove range proof
+  (:mod:`repro.crypto.sigma.bitvec`);
 * the value commitment is derived *homomorphically* by anyone:
   c_i = Π_j c_{i,j}^{2^j} = Com(Σ_j 2^j·x_{i,j}, Σ_j 2^j·r_{i,j}),
   so a valid decomposition proof certifies x_i ∈ [0, 2^k);
 * noise: Δ·Binomial(nb, 1/2) — by Lemma B.1, adding D-noise where D is
   (ε, δ, 1)-smooth to a Δ-incremental query gives (εΔ, δΔ)-DP, so we
-  calibrate the coins at ε/Δ, δ/Δ to land at the target (ε, δ).  The
-  noise coins are the standard ΠBin private/public-coin construction,
-  scaled by the public constant Δ (still a linear, verifiable map).
+  calibrate the coins at ε/Δ, δ/Δ to land at the target (ε, δ).
 
-This gives verifiable DP for e.g. "total minutes of screen time" instead
-of just "how many users opted in".  Curator model (K = 1) here; the MPC
-generalization follows the same pattern as ΠBin's.
+The run is one :class:`repro.api.ProtocolEngine` execution under the
+weighted-sum :class:`~repro.core.plan.AggregationPlan` — exactly what
+``Session(BoundedSumQuery(...))`` does, so releases are byte-identical
+across the two surfaces under a seeded RNG.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.params import PublicParams, setup
-from repro.crypto.fiat_shamir import Transcript
+from repro.core.messages import ClientBroadcast, ClientShareMessage, ClientStatus
 from repro.crypto.pedersen import Commitment, Opening
-from repro.crypto.sigma.or_bit import BitProof, prove_bit, verify_bit
-from repro.errors import ParameterError, VerificationError
-from repro.mpc.morra import MorraParticipant, run_morra_batch
+from repro.crypto.sigma.bitvec import BitVectorProof, verify_bit_vector
+from repro.crypto.sigma.or_bit import BitProof
+from repro.core.params import PublicParams
+from repro.core.prover import OutputTamperingProver, Prover
+from repro.errors import VerificationError
+from repro.utils.deprecation import warn_once
 from repro.utils.rng import RNG, default_rng
 
 __all__ = ["RangeCommitment", "BoundedSumRelease", "VerifiableBoundedSum"]
@@ -60,6 +68,14 @@ class RangeCommitment:
             acc = acc * (c ** (1 << j))
         return acc
 
+    def to_broadcast(self) -> ClientBroadcast:
+        """The equivalent engine message (curator model: one share row)."""
+        return ClientBroadcast(
+            client_id=self.client_id,
+            share_commitments=(tuple(self.bit_commitments),),
+            validity_proof=BitVectorProof(tuple(self.bit_proofs)),
+        )
+
 
 @dataclass(frozen=True)
 class BoundedSumRelease:
@@ -73,15 +89,11 @@ class BoundedSumRelease:
     delta: float
 
 
-def _range_transcript(params: PublicParams, client_id: str) -> Transcript:
-    transcript = Transcript("repro.bounded-sum.range")
-    transcript.append_bytes("params", params.fingerprint())
-    transcript.append_str("client", client_id)
-    return transcript
-
-
 class VerifiableBoundedSum:
-    """Verifiable DP sum of k-bit client values, trusted-curator model."""
+    """Verifiable DP sum of k-bit client values, trusted-curator model.
+
+    .. deprecated:: use ``repro.api.Session(BoundedSumQuery(...))``.
+    """
 
     def __init__(
         self,
@@ -93,17 +105,18 @@ class VerifiableBoundedSum:
         nb_override: int | None = None,
         rng: RNG | None = None,
     ) -> None:
-        if not 1 <= value_bits <= 32:
-            raise ParameterError("value_bits must be in [1, 32]")
+        from repro.api.queries import BoundedSumQuery
+
+        warn_once(
+            "VerifiableBoundedSum",
+            "VerifiableBoundedSum is deprecated; use "
+            "repro.api.Session(BoundedSumQuery(...)) instead",
+        )
+        self.query = BoundedSumQuery(value_bits, epsilon, delta)
         self.value_bits = value_bits
-        self.sensitivity = (1 << value_bits) - 1
-        # Calibrate the coin count at (ε/Δ, δ/Δ) so the Δ-scaled noise
-        # delivers (ε, δ) for the Δ-incremental sum query (Lemma B.1).
-        self.params = setup(
-            epsilon / self.sensitivity,
-            min(delta / self.sensitivity, 0.5),
-            group=group,
-            nb_override=nb_override,
+        self.sensitivity = self.query.sensitivity
+        self.params = self.query.build_params(
+            num_provers=1, group=group, nb_override=nb_override
         )
         self.epsilon = epsilon
         self.delta = delta
@@ -111,42 +124,41 @@ class VerifiableBoundedSum:
 
     # Client side --------------------------------------------------------
 
-    def submit(self, client_id: str, value: int, rng: RNG | None = None) -> tuple[RangeCommitment, list[Opening]]:
+    def submit(
+        self, client_id: str, value: int, rng: RNG | None = None
+    ) -> tuple[RangeCommitment, list[Opening]]:
         """Commit to the bit decomposition of ``value`` and prove range.
 
         Returns the public :class:`RangeCommitment` and the private
         openings (sent to the curator only).
         """
-        if not 0 <= value <= self.sensitivity:
-            raise ParameterError(
-                f"value {value} outside [0, {self.sensitivity}]"
-            )
-        rng = default_rng(rng)
-        transcript = _range_transcript(self.params, client_id)
-        commitments: list[Commitment] = []
-        openings: list[Opening] = []
-        proofs: list[BitProof] = []
-        for j in range(self.value_bits):
-            bit = (value >> j) & 1
-            c, o = self.params.pedersen.commit_fresh(bit, rng)
-            proofs.append(prove_bit(self.params.pedersen, c, o, transcript, rng))
-            commitments.append(c)
-            openings.append(o)
+        client = self.query.make_client(client_id, value, default_rng(rng))
+        broadcast, privates = client.submit(self.params)
         return (
-            RangeCommitment(client_id, tuple(commitments), tuple(proofs)),
-            openings,
+            RangeCommitment(
+                client_id,
+                tuple(broadcast.share_commitments[0]),
+                tuple(broadcast.validity_proof.bit_proofs),
+            ),
+            list(privates[0].openings),
         )
 
     # Public validation -----------------------------------------------------
 
     def validate(self, submission: RangeCommitment) -> bool:
         """Anyone can check a submission's range proof."""
+        from repro.core.client import _client_transcript
+
         if len(submission.bit_commitments) != self.value_bits:
             return False
-        transcript = _range_transcript(self.params, submission.client_id)
+        transcript = _client_transcript(self.params, submission.client_id)
         try:
-            for c, proof in zip(submission.bit_commitments, submission.bit_proofs):
-                verify_bit(self.params.pedersen, c, proof, transcript)
+            verify_bit_vector(
+                self.params.pedersen,
+                list(submission.bit_commitments),
+                BitVectorProof(tuple(submission.bit_proofs)),
+                transcript,
+            )
         except VerificationError:
             return False
         return True
@@ -165,75 +177,38 @@ class VerifiableBoundedSum:
         ``tamper_bias`` simulates a cheating curator shifting the output;
         any non-zero value is caught by the final homomorphic check.
         """
+        from repro.api.engine import ProtocolEngine, fork_rng
+
         params = self.params
-        pedersen = params.pedersen
-        q = params.q
-        curator_rng = default_rng(curator_rng if curator_rng is not None else self.rng)
-
-        valid: list[tuple[RangeCommitment, list[Opening]]] = []
-        rejected: list[str] = []
-        for submission, openings in submissions:
-            if self.validate(submission):
-                valid.append((submission, openings))
-            else:
-                rejected.append(submission.client_id)
-
-        # Curator's noise coins (standard ΠBin coin phase).
-        transcript = Transcript("repro.bounded-sum.coins")
-        transcript.append_bytes("params", params.fingerprint())
-        coin_commitments: list[Commitment] = []
-        coin_openings: list[Opening] = []
-        coin_proofs: list[BitProof] = []
-        for _ in range(params.nb):
-            coin = curator_rng.coin()
-            c, o = pedersen.commit_fresh(coin, curator_rng)
-            coin_proofs.append(prove_bit(pedersen, c, o, transcript, curator_rng))
-            coin_commitments.append(c)
-            coin_openings.append(o)
-
-        verify_transcript = Transcript("repro.bounded-sum.coins")
-        verify_transcript.append_bytes("params", params.fingerprint())
-        for c, proof in zip(coin_commitments, coin_proofs):
-            verify_bit(pedersen, c, proof, verify_transcript)
-
-        prover = MorraParticipant("curator", curator_rng)
-        verifier = MorraParticipant("verifier", default_rng(None))
-        bits = run_morra_batch([prover, verifier], q, params.nb).bits()
-
-        # Curator computes (y, z); noise coins enter with weight Δ.
-        delta_weight = self.sensitivity
-        y = 0
-        z = 0
-        for submission, openings in valid:
-            for j, opening in enumerate(openings):
-                weight = 1 << j
-                y = (y + weight * opening.value) % q
-                z = (z + weight * opening.randomness) % q
-        for opening, bit in zip(coin_openings, bits):
-            if bit:
-                y = (y + delta_weight * (1 - opening.value)) % q
-                z = (z - delta_weight * opening.randomness) % q
-            else:
-                y = (y + delta_weight * opening.value) % q
-                z = (z + delta_weight * opening.randomness) % q
-        y = (y + tamper_bias) % q
-
-        # Public verifier's homomorphic check (Line 13 analogue):
-        # Π_i c_i  ·  Π_j ĉ'_j^Δ  ==  Com(y, z).
-        product = pedersen.commitment_to_constant(0)
-        for submission, _ in valid:
-            product = product * submission.derived_value_commitment(params)
-        for c, bit in zip(coin_commitments, bits):
-            adjusted = pedersen.one_minus(c) if bit else c
-            product = product * (adjusted ** delta_weight)
-        accepted = product.element == pedersen.commit(y, z).element
-
-        noise_mean = delta_weight * params.nb / 2.0
+        rng = curator_rng if curator_rng is not None else self.rng
+        plan = self.query.build_plan()
+        prover_rng = fork_rng(rng, "prover-0")
+        if tamper_bias:
+            curator = OutputTamperingProver(
+                "prover-0", params, prover_rng, bias=tamper_bias, plan=plan
+            )
+        else:
+            curator = Prover("prover-0", params, prover_rng, plan=plan)
+        engine = ProtocolEngine(params, plan=plan, provers=[curator], rng=rng)
+        engine.submit_prepared(
+            (
+                submission.to_broadcast(),
+                [ClientShareMessage(submission.client_id, tuple(openings))],
+            )
+            for submission, openings in submissions
+        )
+        result = engine.run_release()
+        release = result.release
+        rejected = tuple(
+            client_id
+            for client_id, status in release.audit.clients.items()
+            if status is not ClientStatus.VALID
+        )
         return BoundedSumRelease(
-            raw=y,
-            estimate=y - noise_mean,
-            accepted=accepted,
-            rejected_clients=tuple(rejected),
+            raw=release.raw[0],
+            estimate=release.estimate[0],
+            accepted=release.accepted,
+            rejected_clients=rejected,
             epsilon=self.epsilon,
             delta=self.delta,
         )

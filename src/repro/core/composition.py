@@ -1,5 +1,13 @@
 """Composing ΠBin with existing (non-verifiable) DP-MPC systems.
 
+.. deprecated::
+    :class:`VerifiableNoiseWrapper` warns once per calling module; new code
+    should run full queries through :class:`repro.api.Session`.  The
+    wrapper remains for the PRIO/Poplar composition story and now rides
+    the same coin-phase machinery as the session engine
+    (:meth:`repro.core.prover.Prover.begin_coin_stream` and friends)
+    instead of carrying its own copy.
+
 The paper (contribution 3) notes that ΠBin "can be combined with existing
 (non-verifiable) DP-MPC protocols, such as PRIO and Poplar, to enforce
 verifiability".  The precise composition implemented here:
@@ -19,7 +27,7 @@ about.  What it does not buy: the correctness of A_k itself still rests
 on the outer system's guarantees (PRIO's SNIPs + semi-honest servers),
 because PRIO clients never publish per-share commitments.  Upgrading
 aggregate correctness too requires the full ΠBin client flow
-(:mod:`repro.core.protocol`).  The docstring-level contract matters:
+(:mod:`repro.api.session`).  The docstring-level contract matters:
 ``VerifiableNoiseWrapper`` verifies noise, not history.
 """
 
@@ -28,11 +36,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.params import PublicParams
-from repro.core.prover import coin_transcript
-from repro.crypto.pedersen import Commitment, Opening
-from repro.crypto.sigma.or_bit import BitProof, prove_bit, verify_bit
+from repro.core.prover import Prover, coin_transcript
+from repro.crypto.pedersen import Commitment
+from repro.crypto.sigma.or_bit import BitProof, verify_bit
 from repro.errors import VerificationError
 from repro.mpc.morra import MorraParticipant, run_morra_batch
+from repro.utils.deprecation import warn_once
 from repro.utils.rng import RNG, default_rng
 
 __all__ = ["NoiseAttestation", "VerifiableNoiseWrapper"]
@@ -52,9 +61,19 @@ class NoiseAttestation:
 
 
 class VerifiableNoiseWrapper:
-    """Attach verifiable Binomial noise to an outer aggregate."""
+    """Attach verifiable Binomial noise to an outer aggregate.
+
+    .. deprecated:: prefer full ``repro.api.Session`` queries; the
+       wrapper verifies noise only.
+    """
 
     def __init__(self, params: PublicParams, rng: RNG | None = None) -> None:
+        warn_once(
+            "VerifiableNoiseWrapper",
+            "VerifiableNoiseWrapper is deprecated; prefer running full "
+            "queries through repro.api.Session (it verifies the aggregate "
+            "too, not just the noise)",
+        )
         if params.dimension != 1:
             raise VerificationError("wrapper operates per scalar aggregate; wrap each bin")
         self.params = params
@@ -67,44 +86,34 @@ class VerifiableNoiseWrapper:
         aggregate: int,
         context: bytes,
     ) -> NoiseAttestation:
-        """Run the coin phase for one server holding plaintext ``aggregate``."""
+        """Run the coin phase for one server holding plaintext ``aggregate``.
+
+        The coin commitment/proof/adjustment flow is the session engine's
+        streamed prover machinery run as a single chunk, so the published
+        transcript shape is identical to a ΠBin prover's.
+        """
         params = self.params
         pedersen = params.pedersen
         q = params.q
 
         agg_commitment, agg_opening = pedersen.commit_fresh(aggregate % q, server.rng)
 
-        transcript = coin_transcript(params, server.name, context)
-        commitments: list[Commitment] = []
-        openings: list[Opening] = []
-        proofs: list[BitProof] = []
-        for _ in range(params.nb):
-            coin = server.rng.coin()
-            c, o = pedersen.commit_fresh(coin, server.rng)
-            proofs.append(prove_bit(pedersen, c, o, transcript, server.rng))
-            commitments.append(c)
-            openings.append(o)
+        prover = Prover(server.name, params, server.rng)
+        prover.begin_coin_stream(context)
+        message = prover.commit_coin_chunk(params.nb)
 
         bits = run_morra_batch([server, verifier], q, params.nb).bits()
-
-        y = aggregate % q
-        z = agg_opening.randomness
-        for opening, bit in zip(openings, bits):
-            if bit:
-                y = (y + 1 - opening.value) % q
-                z = (z - opening.randomness) % q
-            else:
-                y = (y + opening.value) % q
-                z = (z + opening.randomness) % q
+        prover.absorb_public_bits([[bit] for bit in bits])
+        noise = prover.finish_output()
 
         return NoiseAttestation(
             server_id=server.name,
             aggregate_commitment=agg_commitment,
-            coin_commitments=tuple(commitments),
-            coin_proofs=tuple(proofs),
+            coin_commitments=tuple(row[0] for row in message.commitments),
+            coin_proofs=tuple(row[0] for row in message.proofs),
             public_bits=tuple(bits),
-            y=y,
-            z=z,
+            y=(aggregate + noise.y[0]) % q,
+            z=(agg_opening.randomness + noise.z[0]) % q,
         )
 
     def verify(self, attestation: NoiseAttestation, context: bytes) -> None:

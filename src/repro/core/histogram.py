@@ -1,4 +1,10 @@
-"""Verifiable DP histograms (M-bin counting, Section 4.2).
+"""Verifiable DP histograms (M-bin counting, Section 4.2) — legacy shim.
+
+.. deprecated::
+    Use ``repro.api.Session(HistogramQuery(bins, epsilon, delta))`` — the
+    same engine, plus chunked submission, streamed verification and
+    accountant-tracked budgets.  This class remains as a thin shim and
+    emits a :class:`DeprecationWarning` once per calling module.
 
 The high-level API a deployment would use: clients hold a categorical
 choice in [0, M); the release is a verifiable DP count per bin.  This is
@@ -6,26 +12,28 @@ the "plurality election" workload from the paper's introduction (which
 pizza topping does the population prefer?) and the shape of PRIO/Poplar
 telemetry.
 
-Internally this is :class:`VerifiableBinomialProtocol` with
-``dimension = M`` and one-hot-encoded clients; each prover adds an
-independent Binomial(nb, 1/2) per bin, so each bin's count is (ε, δ)-DP
-and the whole release is (ε, δ)-DP for one-hot inputs (changing one
-client's choice moves two bins by 1 each; the per-bin guarantee composes
-over the two changed coordinates — use ε/2 per bin for a strict end-to-end
-ε, as the ``privacy_note`` explains).
+Internally this is one phase-driven engine run with ``dimension = M``
+and one-hot-encoded clients; each prover adds an independent
+Binomial(nb, 1/2) per bin, so each bin's count is (ε, δ)-DP and the
+whole release is (ε, δ)-DP for one-hot inputs (changing one client's
+choice moves two bins by 1 each; the per-bin guarantee composes over the
+two changed coordinates — use ε/2 per bin for a strict end-to-end ε, as
+the ``privacy_note`` explains).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.api.engine import fork_rng
 from repro.core.client import Client, encode_choice
 from repro.core.params import PublicParams, setup
 from repro.core.protocol import ProtocolResult, VerifiableBinomialProtocol
 from repro.core.prover import Prover
 from repro.core.verifier import PublicVerifier
 from repro.errors import ParameterError
-from repro.utils.rng import RNG, SeededRNG, SystemRNG
+from repro.utils.deprecation import warn_once
+from repro.utils.rng import RNG, SystemRNG
 
 __all__ = ["HistogramRelease", "VerifiableHistogram"]
 
@@ -45,7 +53,10 @@ class HistogramRelease:
 
 
 class VerifiableHistogram:
-    """Verifiable DP histogram estimation over categorical client data."""
+    """Verifiable DP histogram estimation over categorical client data.
+
+    .. deprecated:: use ``repro.api.Session(HistogramQuery(...))``.
+    """
 
     def __init__(
         self,
@@ -60,6 +71,11 @@ class VerifiableHistogram:
         provers: list[Prover] | None = None,
         verifier: PublicVerifier | None = None,
     ) -> None:
+        warn_once(
+            "VerifiableHistogram",
+            "VerifiableHistogram is deprecated; use "
+            "repro.api.Session(HistogramQuery(...)) instead",
+        )
         if bins < 2:
             raise ParameterError("a histogram needs at least 2 bins")
         self.bins = bins
@@ -83,17 +99,21 @@ class VerifiableHistogram:
         )
 
     def run(self, choices: list[int]) -> tuple[HistogramRelease, ProtocolResult]:
-        """Run the protocol over clients' categorical choices."""
-        clients = []
-        for i, choice in enumerate(choices):
-            client_rng = (
-                self.rng.fork(f"client-{i}")
-                if isinstance(self.rng, SeededRNG)
-                else SystemRNG()
+        """Run the protocol over clients' categorical choices.
+
+        Delegates to the same engine (and the same client construction —
+        ``client-i`` forked from the session RNG) as
+        ``Session(HistogramQuery(...))``, so seeded releases are
+        byte-identical across the two surfaces.
+        """
+        clients = [
+            Client(
+                f"client-{i}",
+                encode_choice(choice, self.bins),
+                fork_rng(self.rng, f"client-{i}"),
             )
-            clients.append(
-                Client(f"client-{i}", encode_choice(choice, self.bins), client_rng)
-            )
+            for i, choice in enumerate(choices)
+        ]
         result = self.protocol.run(clients)
         release = HistogramRelease(
             counts=result.release.estimate,

@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 from enum import Enum
 
 from repro.crypto.pedersen import Commitment, Opening
+from repro.crypto.sigma.bitvec import BitVectorProof
 from repro.crypto.sigma.onehot import OneHotProof
 from repro.crypto.sigma.or_bit import BitProof
 
@@ -38,13 +39,14 @@ class ClientBroadcast:
     """A client's public message (Line 2–3 of Figure 2).
 
     ``share_commitments[k][m]`` commits to the k-th share of coordinate m;
-    ``validity_proof`` is the Σ-OR (M = 1) or one-hot (M > 1) proof over
-    the *derived* commitments c_m = Π_k c[k][m], which anyone can compute.
+    ``validity_proof`` proves the *derived* commitments c_m = Π_k c[k][m]
+    (which anyone can compute) lie in the query's language L: Σ-OR for a
+    bit, one-hot for histograms, bit-vector for range decompositions.
     """
 
     client_id: str
     share_commitments: tuple[tuple[Commitment, ...], ...]
-    validity_proof: BitProof | OneHotProof
+    validity_proof: BitProof | OneHotProof | BitVectorProof
 
     def derived_commitments(self) -> list[Commitment]:
         """c_m = Π_k c[k][m] — commitments to the plaintext coordinates."""

@@ -1,0 +1,108 @@
+"""Aggregation plans: what a protocol run releases, as public data.
+
+ΠBin as printed releases one lane per input coordinate — a count (M = 1)
+or an M-bin histogram — with unit weights and unit noise.  The bounded-sum
+extension releases *one* lane that is a 2^j-weighted combination of the
+client's bit-decomposition coordinates, with the Binomial noise scaled by
+the query sensitivity Δ.  An :class:`AggregationPlan` captures exactly
+that shape so one prover/verifier implementation covers every workload:
+
+* ``lane_weights[l][m]`` — the public weight of client coordinate ``m``
+  in release lane ``l``; prover ``k`` outputs
+  ``y_{l,k} = Σ_m w_{l,m} · Σ_i ⟦x_{i,m}⟧_k + Δ_l · Σ_j v̂_{j,l,k}``.
+* ``noise_weights[l]`` — the public scale Δ_l applied to that lane's
+  nb adjusted coins (Lemma B.1: D-noise on a Δ-incremental query).
+* ``validity`` — the client language L: ``"bit"`` (scalar bit),
+  ``"onehot"`` (one-hot vector), or ``"bitvec"`` (independent bits, the
+  range-decomposition language).
+
+Everything in a plan is public, so Line 13 stays a homomorphic identity
+anyone can replay:
+
+    Π_m (Π_i c_{i,m})^{w_{l,m}} · (Π_j ĉ'_{j,l})^{Δ_l} == Com(y_l, z_l).
+
+The default plan (``AggregationPlan.identity``) reproduces Figure 2
+verbatim: one lane per coordinate, unit weights, unit noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ParameterError
+
+__all__ = ["AggregationPlan"]
+
+_VALIDITY_MODES = ("bit", "onehot", "bitvec")
+
+
+@dataclass(frozen=True)
+class AggregationPlan:
+    """Public description of a run's release lanes over M client coordinates."""
+
+    lane_weights: tuple[tuple[int, ...], ...]
+    noise_weights: tuple[int, ...]
+    validity: str
+
+    def __post_init__(self) -> None:
+        if not self.lane_weights:
+            raise ParameterError("plan needs at least one release lane")
+        dimension = len(self.lane_weights[0])
+        if dimension < 1 or any(len(row) != dimension for row in self.lane_weights):
+            raise ParameterError("lane weight rows must share one dimension >= 1")
+        if len(self.noise_weights) != len(self.lane_weights):
+            raise ParameterError("one noise weight per lane required")
+        if any(w < 1 for w in self.noise_weights):
+            raise ParameterError("noise weights must be positive")
+        if self.validity not in _VALIDITY_MODES:
+            raise ParameterError(f"unknown validity mode {self.validity!r}")
+        if self.validity == "bit" and dimension != 1:
+            raise ParameterError("'bit' validity requires dimension 1")
+
+    @property
+    def lanes(self) -> int:
+        """Number of release lanes L (the protocol's output arity)."""
+        return len(self.lane_weights)
+
+    @property
+    def dimension(self) -> int:
+        """Number of client input coordinates M."""
+        return len(self.lane_weights[0])
+
+    def is_identity(self) -> bool:
+        """True when this plan is Figure 2 verbatim (lane l == coordinate l,
+        unit weights, unit noise) — the fast paths key off this."""
+        if self.lanes != self.dimension:
+            return False
+        if any(w != 1 for w in self.noise_weights):
+            return False
+        return all(
+            weight == (1 if l == m else 0)
+            for l, row in enumerate(self.lane_weights)
+            for m, weight in enumerate(row)
+        )
+
+    def noise_mean(self, num_provers: int, nb: int) -> tuple[float, ...]:
+        """Per-lane mean of the total added noise: Δ_l · K · nb / 2."""
+        return tuple(w * num_provers * nb / 2.0 for w in self.noise_weights)
+
+    @classmethod
+    def identity(cls, dimension: int) -> "AggregationPlan":
+        """The paper's plan: one unit lane per coordinate."""
+        return cls(
+            lane_weights=tuple(
+                tuple(1 if l == m else 0 for m in range(dimension))
+                for l in range(dimension)
+            ),
+            noise_weights=(1,) * dimension,
+            validity="bit" if dimension == 1 else "onehot",
+        )
+
+    @classmethod
+    def weighted_sum(cls, weights: tuple[int, ...], noise_weight: int) -> "AggregationPlan":
+        """One lane combining all coordinates (the bounded-sum shape)."""
+        return cls(
+            lane_weights=(tuple(weights),),
+            noise_weights=(noise_weight,),
+            validity="bitvec",
+        )

@@ -1,16 +1,19 @@
-"""Orchestration of ΠBin (Figure 2) over the simulated network.
+"""Legacy orchestration entry point for ΠBin (Figure 2).
 
-:class:`VerifiableBinomialProtocol` wires clients, K provers and the
-public verifier through the five phases:
+.. deprecated::
+    :class:`VerifiableBinomialProtocol` is now a thin shim over the
+    phase-driven :class:`repro.api.ProtocolEngine` — the same engine that
+    powers the :class:`repro.api.Session` query API, which is the
+    advertised way to run queries (and the only way to stream them).
+    ``run()`` remains supported for custom prover/verifier wiring;
+    ``run_bits()`` emits a :class:`DeprecationWarning` (once) — use
+    ``Session(CountQuery(...))`` instead.
 
-    clients submit → provers check shares → verifier validates clients
-    → provers commit coins + Σ-OR proofs → verifier checks proofs
-    → per-prover Morra → Line 12 commitment update → prover outputs
-    → Line 13 homomorphic check → aggregate release.
-
-The trusted-curator model is exactly ``num_provers=1``; the client-server
-MPC model is K >= 2 (the paper's deployments use K = 2, like PRIO and
-Poplar).
+The shim preserves the monolithic entry point's exact execution order —
+per-party RNG draw sequences included — so seeded runs release
+byte-identical results through either surface, and the returned
+:class:`ProtocolResult` still carries every public message a bulletin
+board needs for third-party audit replay.
 
 Per-stage wall-clock timings are accumulated in a
 :class:`repro.utils.timing.StageTimer` under the same stage names as
@@ -20,63 +23,34 @@ the bench harness prints rows directly comparable to the paper.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
-from repro.core.client import Client
-from repro.core.messages import (
-    ClientBroadcast,
-    ProverStatus,
-    Release,
+from repro.api.engine import (
+    STAGE_AGGREGATION,
+    STAGE_CHECK,
+    STAGE_CLIENT_PROOF,
+    STAGE_CLIENT_VERIFY,
+    STAGE_MORRA,
+    STAGE_SIGMA_PROOF,
+    STAGE_SIGMA_VERIFY,
+    EngineResult,
+    ProtocolEngine,
+    fork_rng,
 )
+from repro.core.client import Client
 from repro.core.params import PublicParams
-from repro.core.prover import Prover, broadcast_context_digest
+from repro.core.prover import Prover
 from repro.core.verifier import PublicVerifier
-from repro.errors import ParameterError, ProtocolAbort
-from repro.mpc.bus import SimulatedNetwork
-from repro.mpc.morra import run_morra_batch
+from repro.errors import ParameterError
+from repro.utils.deprecation import warn_once
 from repro.utils.rng import RNG, SystemRNG
-from repro.utils.timing import StageTimer
 
 __all__ = ["VerifiableBinomialProtocol", "ProtocolResult"]
 
-# Stage names aligned with Table 1's columns.
-STAGE_SIGMA_PROOF = "sigma-proof"
-STAGE_SIGMA_VERIFY = "sigma-verification"
-STAGE_MORRA = "morra"
-STAGE_AGGREGATION = "aggregation"
-STAGE_CHECK = "check"
-STAGE_CLIENT_PROOF = "client-proof"
-STAGE_CLIENT_VERIFY = "client-verification"
-
-
-@dataclass
-class ProtocolResult:
-    """A release plus run metadata (timings, traffic, public messages).
-
-    The message fields retain everything a bulletin board needs
-    (:func:`repro.core.bulletin.publish_run`), enabling byte-level
-    third-party audit replay.
-    """
-
-    release: Release
-    timer: StageTimer
-    network: SimulatedNetwork
-    public_bits: dict[str, list[list[int]]] = field(default_factory=dict)
-    broadcasts: list = field(default_factory=list)
-    coin_messages: list = field(default_factory=list)
-    outputs: list = field(default_factory=list)
-
-    def to_bulletin(self, params: PublicParams):
-        """Serialize this run's public messages onto a bulletin board."""
-        from repro.core.bulletin import publish_run
-
-        return publish_run(
-            params, self.broadcasts, self.coin_messages, self.public_bits, self.outputs
-        )
+# The legacy result type is the engine's result type under its old name.
+ProtocolResult = EngineResult
 
 
 class VerifiableBinomialProtocol:
-    """One verifiable DP counting/histogram query end to end."""
+    """One verifiable DP counting/histogram query end to end (legacy shim)."""
 
     def __init__(
         self,
@@ -104,13 +78,12 @@ class VerifiableBinomialProtocol:
         self.verifier = verifier or PublicVerifier(params, self._fork_rng("verifier"))
 
     def _fork_rng(self, label: str) -> RNG:
-        forker = getattr(self.rng, "fork", None)
-        return forker(label) if forker is not None else SystemRNG()
+        return fork_rng(self.rng, label)
 
     # ----------------------------------------------------------------------
 
     def run(self, clients: list[Client]) -> ProtocolResult:
-        """Execute the protocol for the given clients.
+        """Execute the protocol for the given clients (buffered engine run).
 
         Dishonest clients are excluded (and named); dishonest provers
         cause ``release.accepted == False`` with the culprit named in the
@@ -118,133 +91,29 @@ class VerifiableBinomialProtocol:
         mid-Morra, say) propagates as an exception, because then there is
         no output at all — matching the paper's early-exit semantics.
         """
-        params = self.params
-        timer = StageTimer()
-        network = SimulatedNetwork()
-        network.register(self.verifier.name)
-        for prover in self.provers:
-            network.register(prover.name)
-
-        # Phase 1: clients submit (Line 2).
-        broadcasts: list[ClientBroadcast] = []
-        share_messages: list[list] = []  # [client][prover]
-        with timer.stage(STAGE_CLIENT_PROOF):
-            for client in clients:
-                network.register(client.name)
-                broadcast, privates = client.submit(params)
-                broadcasts.append(broadcast)
-                share_messages.append(privates)
-                network.broadcast(client.name, broadcast)
-                for k, prover in enumerate(self.provers):
-                    network.send(client.name, prover.name, privates[k])
-
-        # Phase 2: provers check their private openings; complaints go public.
-        complaints: dict[str, list[str]] = {}
-        for k, prover in enumerate(self.provers):
-            bad: list[str] = []
-            for broadcast, privates in zip(broadcasts, share_messages):
-                if not prover.receive_client_share(broadcast, privates[k], k):
-                    bad.append(broadcast.client_id)
-            if bad:
-                complaints[prover.name] = bad
-
-        # Phase 3: public client validation (Line 3).
-        with timer.stage(STAGE_CLIENT_VERIFY):
-            valid_ids = self.verifier.validate_clients(broadcasts, complaints)
-
-        context = broadcast_context_digest(broadcasts)
-
-        # Phase 4: coin commitments + Σ-OR proofs (Lines 4-6).  All
-        # provers commit first so the verifier can fold every coin proof
-        # into one cross-prover batch (a single multi-exponentiation).
-        coin_messages = []
-        for prover in self.provers:
-            with timer.stage(STAGE_SIGMA_PROOF):
-                message = prover.commit_coins(context)
-            coin_messages.append(message)
-            network.broadcast(prover.name, message)
-        with timer.stage(STAGE_SIGMA_VERIFY):
-            coin_ok = self.verifier.verify_all_coin_commitments(coin_messages, context)
-
-        # Phase 5: Morra public bits per prover (Lines 7-8), then Line 12.
-        public_bits: dict[str, list[list[int]]] = {}
-        for prover in self.provers:
-            if not coin_ok[prover.name]:
-                continue
-            with timer.stage(STAGE_MORRA):
-                outcome = run_morra_batch(
-                    [prover, self.verifier],
-                    params.q,
-                    params.nb * params.dimension,
-                    network=network,
-                )
-                flat = outcome.bits()
-            bits = [
-                flat[j * params.dimension : (j + 1) * params.dimension]
-                for j in range(params.nb)
-            ]
-            public_bits[prover.name] = bits
-            with timer.stage(STAGE_CHECK):
-                self.verifier.apply_public_bits(prover.name, bits)
-
-        # Phase 6: prover outputs (Lines 10-11) and the final check (Line 13).
-        included = [b for b in broadcasts if b.client_id in set(valid_ids)]
-        outputs = {}
-        all_outputs = []
-        for k, prover in enumerate(self.provers):
-            if not coin_ok[prover.name]:
-                continue
-            with timer.stage(STAGE_AGGREGATION):
-                try:
-                    output = prover.compute_output(valid_ids, public_bits[prover.name])
-                except ProtocolAbort as exc:
-                    self.verifier.audit.provers[prover.name] = ProverStatus.ABORTED
-                    self.verifier.audit.note(str(exc))
-                    continue
-            all_outputs.append(output)
-            network.broadcast(prover.name, output)
-            client_commitments = [
-                [b.share_commitments[k][m] for b in included]
-                for m in range(params.dimension)
-            ]
-            with timer.stage(STAGE_CHECK):
-                if self.verifier.check_prover_output(output, client_commitments):
-                    outputs[prover.name] = output
-
-        # Phase 7: aggregate and release.
-        audit = self.verifier.audit
-        accepted = (
-            len(audit.provers) == len(self.provers) and audit.all_provers_honest()
+        engine = ProtocolEngine(
+            self.params,
+            provers=self.provers,
+            verifier=self.verifier,
+            rng=self.rng,
         )
-        raw = tuple(
-            sum(outputs[name].y[m] for name in outputs) % params.q
-            if outputs
-            else 0
-            for m in range(params.dimension)
-        )
-        estimate = tuple(value - params.noise_mean for value in raw)
-        release = Release(
-            raw=raw,
-            estimate=estimate,
-            accepted=accepted,
-            audit=audit,
-            epsilon=params.epsilon,
-            delta=params.delta,
-        )
-        return ProtocolResult(
-            release=release,
-            timer=timer,
-            network=network,
-            public_bits=public_bits,
-            broadcasts=broadcasts,
-            coin_messages=coin_messages,
-            outputs=all_outputs,
-        )
+        engine.submit_clients(clients)
+        return engine.run_release()
 
     # Convenience ------------------------------------------------------------
 
     def run_bits(self, bits: list[int]) -> ProtocolResult:
-        """Run a single counting query over raw client bits (M must be 1)."""
+        """Run a single counting query over raw client bits (M must be 1).
+
+        .. deprecated:: use ``Session(CountQuery(...))`` from
+           :mod:`repro.api` — same release, plus chunked submission and
+           O(chunk) streamed verification.
+        """
+        warn_once(
+            "VerifiableBinomialProtocol.run_bits",
+            "VerifiableBinomialProtocol.run_bits is deprecated; use "
+            "repro.api.Session(CountQuery(...)) instead",
+        )
         if self.params.dimension != 1:
             raise ParameterError("run_bits requires dimension 1; use run() with vectors")
         clients = [

@@ -29,6 +29,7 @@ from repro.core.messages import (
     ProverOutputMessage,
 )
 from repro.core.params import PublicParams
+from repro.core.plan import AggregationPlan
 from repro.crypto.fiat_shamir import Transcript
 from repro.crypto.pedersen import Commitment, Opening
 from repro.crypto.sigma.or_bit import BitProof, prove_bit
@@ -39,6 +40,8 @@ from repro.utils.rng import RNG
 __all__ = [
     "Prover",
     "coin_transcript",
+    "ContextAccumulator",
+    "broadcast_context_digest",
     "BiasedCoinProver",
     "NonBitCoinProver",
     "SkipAdjustmentProver",
@@ -61,27 +64,70 @@ def coin_transcript(params: PublicParams, prover_id: str, context: bytes) -> Tra
     return transcript
 
 
-def broadcast_context_digest(broadcasts: list[ClientBroadcast]) -> bytes:
-    """Digest of the public client phase, shared by prover and verifier."""
-    h = hashlib.sha256(b"repro.pibin.context")
-    for broadcast in broadcasts:
-        h.update(broadcast.client_id.encode())
+class ContextAccumulator:
+    """Incremental form of :func:`broadcast_context_digest`.
+
+    The streaming session absorbs each client chunk as it arrives and
+    drops the broadcasts; the final digest is byte-identical to hashing
+    the full list at once.
+    """
+
+    def __init__(self) -> None:
+        self._h = hashlib.sha256(b"repro.pibin.context")
+
+    def absorb(self, broadcast: ClientBroadcast) -> None:
+        self._h.update(broadcast.client_id.encode())
         for row in broadcast.share_commitments:
             for commitment in row:
-                h.update(commitment.to_bytes())
-    return h.digest()
+                self._h.update(commitment.to_bytes())
+
+    def digest(self) -> bytes:
+        return self._h.digest()
+
+
+def broadcast_context_digest(broadcasts: list[ClientBroadcast]) -> bytes:
+    """Digest of the public client phase, shared by prover and verifier."""
+    accumulator = ContextAccumulator()
+    for broadcast in broadcasts:
+        accumulator.absorb(broadcast)
+    return accumulator.digest()
 
 
 class Prover(MorraParticipant):
-    """An honest ΠBin prover (index k)."""
+    """An honest ΠBin prover (index k).
 
-    def __init__(self, name: str, params: PublicParams, rng: RNG | None = None) -> None:
+    ``plan`` generalizes Figure 2's release shape (see
+    :class:`repro.core.plan.AggregationPlan`); the default identity plan
+    is the paper's protocol verbatim — one unit-weight lane per input
+    coordinate with unit noise.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        params: PublicParams,
+        rng: RNG | None = None,
+        *,
+        plan: AggregationPlan | None = None,
+    ) -> None:
         super().__init__(name, rng)
         self.params = params
+        self.plan = plan if plan is not None else AggregationPlan.identity(params.dimension)
+        if self.plan.dimension != params.dimension:
+            raise ParameterError("plan dimension does not match params dimension")
         # State accumulated across phases.
         self._client_openings: dict[str, tuple[Opening, ...]] = {}
-        self._coin_openings: list[list[Opening]] = []  # [j][m]
+        self._coin_openings: list[list[Opening]] = []  # [j][lane]
         self._coin_commitments: list[list[Commitment]] = []
+        # Streaming state (begin_coin_stream / absorb_* / finish_output).
+        self._stream_transcript: Transcript | None = None
+        self._coins_emitted = 0
+        self._coins_absorbed = 0
+        self._pending_openings: list[list[Opening]] = []
+        self._share_y: list[int] | None = None
+        self._share_z: list[int] | None = None
+        self._noise_y = [0] * self.plan.lanes
+        self._noise_z = [0] * self.plan.lanes
 
     # Phase A: receive client shares ---------------------------------------
 
@@ -121,38 +167,18 @@ class Prover(MorraParticipant):
         return self.rng.coin()
 
     def commit_coins(self, context: bytes) -> CoinCommitmentMessage:
-        """Commit to nb × M private coins and prove each is a bit.
+        """Commit to nb × L private coins and prove each is a bit.
 
-        All nb·M commitments go through one fused
+        One row per coin, one column per release lane (L = M for the
+        paper's identity plan).  All nb·L commitments go through one fused
         :meth:`~repro.crypto.pedersen.PedersenParams.commit_many` pass
         (shared comb tables, interleaved g/h digits); the Σ-OR proofs are
         then produced over the shared transcript in the same order.
         """
-        params = self.params
-        pedersen = params.pedersen
-        q = params.q
-        transcript = coin_transcript(params, self.name, context)
-        flat_openings = [
-            Opening(self.choose_coin(j, m) % q, self.rng.field_element(q))
-            for j in range(params.nb)
-            for m in range(params.dimension)
-        ]
-        flat_commitments = pedersen.commit_many(
-            [o.value for o in flat_openings],
-            [o.randomness for o in flat_openings],
+        transcript = coin_transcript(self.params, self.name, context)
+        commitments, openings, proofs = self._make_coins(
+            transcript, 0, self.params.nb
         )
-        d = params.dimension
-        commitments = [
-            flat_commitments[j * d : (j + 1) * d] for j in range(params.nb)
-        ]
-        openings = [flat_openings[j * d : (j + 1) * d] for j in range(params.nb)]
-        proofs: list[list[BitProof]] = [
-            [
-                self._prove_coin(c, o, transcript)
-                for c, o in zip(c_row, o_row)
-            ]
-            for c_row, o_row in zip(commitments, openings)
-        ]
         self._coin_commitments = commitments
         self._coin_openings = openings
         return CoinCommitmentMessage(
@@ -160,6 +186,32 @@ class Prover(MorraParticipant):
             commitments=tuple(tuple(row) for row in commitments),
             proofs=tuple(tuple(row) for row in proofs),
         )
+
+    def _make_coins(
+        self, transcript: Transcript, start: int, count: int
+    ) -> tuple[list[list[Commitment]], list[list[Opening]], list[list[BitProof]]]:
+        """Sample, commit and prove coins ``start .. start+count`` (rows × L)."""
+        params = self.params
+        q = params.q
+        lanes = self.plan.lanes
+        flat_openings = [
+            Opening(self.choose_coin(j, lane) % q, self.rng.field_element(q))
+            for j in range(start, start + count)
+            for lane in range(lanes)
+        ]
+        flat_commitments = params.pedersen.commit_many(
+            [o.value for o in flat_openings],
+            [o.randomness for o in flat_openings],
+        )
+        commitments = [
+            flat_commitments[j * lanes : (j + 1) * lanes] for j in range(count)
+        ]
+        openings = [flat_openings[j * lanes : (j + 1) * lanes] for j in range(count)]
+        proofs = [
+            [self._prove_coin(c, o, transcript) for c, o in zip(c_row, o_row)]
+            for c_row, o_row in zip(commitments, openings)
+        ]
+        return commitments, openings, proofs
 
     def _prove_coin(self, commitment: Commitment, opening: Opening, transcript: Transcript) -> BitProof:
         """Hook so :class:`NonBitCoinProver` can attempt forgery."""
@@ -185,15 +237,16 @@ class Prover(MorraParticipant):
     def compute_output(
         self, valid_ids: list[str], public_bits: list[list[int]]
     ) -> ProverOutputMessage:
-        """Aggregate shares and adjusted coins into (y_k, z_k) per coordinate."""
+        """Aggregate shares and adjusted coins into (y_k, z_k) per lane."""
         params = self.params
         q = params.q
+        lanes = self.plan.lanes
         if len(public_bits) != params.nb or any(
-            len(row) != params.dimension for row in public_bits
+            len(row) != lanes for row in public_bits
         ):
             raise ProtocolAbort("public bit matrix has wrong shape", party=self.name)
-        y = [0] * params.dimension
-        z = [0] * params.dimension
+        share_y = [0] * params.dimension
+        share_z = [0] * params.dimension
         for client_id in self.select_client_ids(valid_ids):
             openings = self._client_openings.get(client_id)
             if openings is None:
@@ -202,20 +255,157 @@ class Prover(MorraParticipant):
                     party=self.name,
                 )
             for m, opening in enumerate(openings):
-                y[m] = (y[m] + opening.value) % q
-                z[m] = (z[m] + opening.randomness) % q
+                share_y[m] = (share_y[m] + opening.value) % q
+                share_z[m] = (share_z[m] + opening.randomness) % q
+        noise_y = [0] * lanes
+        noise_z = [0] * lanes
         for j in range(params.nb):
-            for m in range(params.dimension):
+            for lane in range(lanes):
                 value, randomness = self.adjusted_coin(
-                    self._coin_openings[j][m], public_bits[j][m]
+                    self._coin_openings[j][lane], public_bits[j][lane]
                 )
-                y[m] = (y[m] + value) % q
-                z[m] = (z[m] + randomness) % q
+                noise_y[lane] = (noise_y[lane] + value) % q
+                noise_z[lane] = (noise_z[lane] + randomness) % q
+        y, z = self._combine_lanes(share_y, share_z, noise_y, noise_z)
         return self._emit_output(y, z)
+
+    def _combine_lanes(
+        self,
+        share_y: list[int],
+        share_z: list[int],
+        noise_y: list[int],
+        noise_z: list[int],
+    ) -> tuple[list[int], list[int]]:
+        """Apply the plan's public weights: y_l = Σ_m w·share + Δ·noise."""
+        q = self.params.q
+        plan = self.plan
+        if plan.is_identity():
+            # Figure 2 verbatim: lane l is coordinate l, unit weights.
+            return (
+                [(s + n) % q for s, n in zip(share_y, noise_y)],
+                [(s + n) % q for s, n in zip(share_z, noise_z)],
+            )
+        y: list[int] = []
+        z: list[int] = []
+        for lane in range(plan.lanes):
+            weights = plan.lane_weights[lane]
+            delta = plan.noise_weights[lane]
+            y.append(
+                (
+                    sum(w * s for w, s in zip(weights, share_y))
+                    + delta * noise_y[lane]
+                )
+                % q
+            )
+            z.append(
+                (
+                    sum(w * s for w, s in zip(weights, share_z))
+                    + delta * noise_z[lane]
+                )
+                % q
+            )
+        return y, z
 
     def _emit_output(self, y: list[int], z: list[int]) -> ProverOutputMessage:
         """Hook so :class:`OutputTamperingProver` can lie at the last step."""
         return ProverOutputMessage(prover_id=self.name, y=tuple(y), z=tuple(z))
+
+    # Streaming (chunked) execution ------------------------------------------
+    #
+    # The session engine's O(chunk)-memory mode: client shares and coin
+    # openings fold into running sums as soon as their phase commitments
+    # are settled, so the prover never holds more than one chunk of
+    # openings.  The same cheat hooks (`choose_coin`, `_prove_coin`,
+    # `adjusted_coin`, `select_client_ids`, `_emit_output`) apply, so the
+    # cheating subclasses misbehave identically mid-stream.
+
+    def absorb_validated_clients(
+        self, valid_ids: list[str], *, discard: list[str] = ()
+    ) -> None:
+        """Fold one chunk of validated clients' openings into the running
+        share sums (Line 10, incrementally) and drop the openings.
+
+        ``discard`` lists clients the verifier rejected; their retained
+        openings are dropped too so the prover's state stays O(chunk).
+        """
+        q = self.params.q
+        if self._share_y is None:
+            self._share_y = [0] * self.params.dimension
+            self._share_z = [0] * self.params.dimension
+        for client_id in self.select_client_ids(list(valid_ids)):
+            openings = self._client_openings.pop(client_id, None)
+            if openings is None:
+                raise ProtocolAbort(
+                    f"validated client {client_id!r} never sent this prover a share",
+                    party=self.name,
+                )
+            for m, opening in enumerate(openings):
+                self._share_y[m] = (self._share_y[m] + opening.value) % q
+                self._share_z[m] = (self._share_z[m] + opening.randomness) % q
+        for client_id in discard:
+            self._client_openings.pop(client_id, None)
+
+    def begin_coin_stream(self, context: bytes) -> None:
+        """Start the chunked coin phase: one evolving transcript for all nb
+        coins, exactly as the monolithic :meth:`commit_coins` would bind
+        them — a streamed run's proofs are byte-identical to a buffered
+        run's under the same coin draws."""
+        self._stream_transcript = coin_transcript(self.params, self.name, context)
+        self._coins_emitted = 0
+        self._coins_absorbed = 0
+        self._pending_openings = []
+        self._noise_y = [0] * self.plan.lanes
+        self._noise_z = [0] * self.plan.lanes
+
+    def commit_coin_chunk(self, count: int) -> CoinCommitmentMessage:
+        """Commit and prove the next ``count`` coins (rows × L lanes)."""
+        if self._stream_transcript is None:
+            raise ProtocolAbort("begin_coin_stream was never called", party=self.name)
+        if self._pending_openings:
+            raise ProtocolAbort(
+                "previous coin chunk still awaits its public bits", party=self.name
+            )
+        count = min(count, self.params.nb - self._coins_emitted)
+        if count <= 0:
+            raise ProtocolAbort("all nb coins already committed", party=self.name)
+        commitments, openings, proofs = self._make_coins(
+            self._stream_transcript, self._coins_emitted, count
+        )
+        self._coins_emitted += count
+        self._pending_openings = openings
+        return CoinCommitmentMessage(
+            prover_id=self.name,
+            commitments=tuple(tuple(row) for row in commitments),
+            proofs=tuple(tuple(row) for row in proofs),
+        )
+
+    def absorb_public_bits(self, public_bits: list[list[int]]) -> None:
+        """Fold the pending chunk's adjusted coins (Lines 9–11) into the
+        running noise sums, then drop the chunk's openings."""
+        q = self.params.q
+        if len(public_bits) != len(self._pending_openings) or any(
+            len(row) != self.plan.lanes for row in public_bits
+        ):
+            raise ProtocolAbort("public bit matrix has wrong shape", party=self.name)
+        for o_row, b_row in zip(self._pending_openings, public_bits):
+            for lane, (opening, bit) in enumerate(zip(o_row, b_row)):
+                value, randomness = self.adjusted_coin(opening, bit)
+                self._noise_y[lane] = (self._noise_y[lane] + value) % q
+                self._noise_z[lane] = (self._noise_z[lane] + randomness) % q
+        self._coins_absorbed += len(public_bits)
+        self._pending_openings = []
+
+    def finish_output(self) -> ProverOutputMessage:
+        """Emit (y_k, z_k) from the running sums (streamed Line 11)."""
+        if self._coins_absorbed != self.params.nb or self._pending_openings:
+            raise ProtocolAbort(
+                f"coin stream incomplete ({self._coins_absorbed}/{self.params.nb} absorbed)",
+                party=self.name,
+            )
+        share_y = self._share_y or [0] * self.params.dimension
+        share_z = self._share_z or [0] * self.params.dimension
+        y, z = self._combine_lanes(share_y, share_z, self._noise_y, self._noise_z)
+        return self._emit_output(y, z)
 
 
 # --------------------------------------------------------------------------
@@ -244,8 +434,8 @@ class NonBitCoinProver(Prover):
     match and the verifier rejects with status BAD_COIN_PROOF.
     """
 
-    def __init__(self, name: str, params: PublicParams, rng: RNG | None = None, *, bad_value: int = 2) -> None:
-        super().__init__(name, params, rng)
+    def __init__(self, name: str, params: PublicParams, rng: RNG | None = None, *, bad_value: int = 2, plan=None) -> None:
+        super().__init__(name, params, rng, plan=plan)
         self.bad_value = bad_value
 
     def choose_coin(self, j: int, m: int) -> int:
@@ -288,8 +478,8 @@ class OutputTamperingProver(Prover):
     second opening of the commitment product, i.e. break binding.
     """
 
-    def __init__(self, name: str, params: PublicParams, rng: RNG | None = None, *, bias: int = 10) -> None:
-        super().__init__(name, params, rng)
+    def __init__(self, name: str, params: PublicParams, rng: RNG | None = None, *, bias: int = 10, plan=None) -> None:
+        super().__init__(name, params, rng, plan=plan)
         self.bias = bias
 
     def _emit_output(self, y: list[int], z: list[int]) -> ProverOutputMessage:
@@ -306,8 +496,8 @@ class InputDroppingProver(Prover):
     clients.
     """
 
-    def __init__(self, name: str, params: PublicParams, rng: RNG | None = None, *, victim: str = "") -> None:
-        super().__init__(name, params, rng)
+    def __init__(self, name: str, params: PublicParams, rng: RNG | None = None, *, victim: str = "", plan=None) -> None:
+        super().__init__(name, params, rng, plan=plan)
         self.victim = victim
 
     def select_client_ids(self, valid_ids: list[str]) -> list[str]:
@@ -318,14 +508,18 @@ class InputInjectingProver(Prover):
     """Figure 1(b) as attempted inside ΠBin: stuff extra ballots.
 
     Adds ``extra`` phantom votes to its aggregate; no public commitment
-    backs them, so Line 13 fails.
+    backs them, so Line 13 fails.  The injection happens in the
+    ``_emit_output`` hook — the last step both the buffered
+    (:meth:`~Prover.compute_output`) and streamed
+    (:meth:`~Prover.finish_output`) paths run — so the attack is
+    exercised (and caught) identically in either mode.
     """
 
-    def __init__(self, name: str, params: PublicParams, rng: RNG | None = None, *, extra: int = 5) -> None:
-        super().__init__(name, params, rng)
+    def __init__(self, name: str, params: PublicParams, rng: RNG | None = None, *, extra: int = 5, plan=None) -> None:
+        super().__init__(name, params, rng, plan=plan)
         self.extra = extra
 
-    def compute_output(self, valid_ids, public_bits) -> ProverOutputMessage:
-        honest = super().compute_output(valid_ids, public_bits)
-        y = [(value + self.extra) % self.params.q for value in honest.y]
-        return ProverOutputMessage(prover_id=self.name, y=tuple(y), z=honest.z)
+    def _emit_output(self, y: list[int], z: list[int]) -> ProverOutputMessage:
+        honest = super()._emit_output(y, z)
+        stuffed = [(value + self.extra) % self.params.q for value in honest.y]
+        return ProverOutputMessage(prover_id=self.name, y=tuple(stuffed), z=honest.z)

@@ -3,13 +3,14 @@
 The verifier (the "analyst" Vfr) never sees a client input, a private
 coin, or any commitment opening other than the aggregate (y_k, z_k).  It:
 
-1. validates every client's Σ-OR / one-hot proof over the *derived*
-   commitments (Line 3) and publishes the per-client verdicts,
+1. validates every client's Σ-OR / one-hot / bit-vector proof over the
+   *derived* commitments (Line 3) and publishes the per-client verdicts,
 2. checks every prover's coin commitments are bits (Lines 5–6),
 3. co-samples the public Morra bits with each prover (Lines 7–8),
 4. applies the linear commitment update ĉ' (Line 12) — computing a
    commitment to v̂ = v ⊕ b without knowing v, and
-5. checks Π_i c_{i,k} · Π_j ĉ'_{j,k} == Com(y_k, z_k) (Line 13).
+5. checks Π_m (Π_i c_{i,m})^{w_m} · (Π_j ĉ'_{j,l})^{Δ_l} == Com(y_l, z_l)
+   per release lane (Line 13; unit weights reproduce the paper's check).
 
 Because all five steps consume only public messages, *anyone* can replay
 them: the audit record produced here is reproducible by third parties,
@@ -23,9 +24,19 @@ rejection cannot name the cheater, so on failure the verifier replays
 the sequential per-proof path to pinpoint (and audit-record) exactly
 which proof failed; construct with ``batch=False`` to force the
 sequential path throughout (the ablation benchmarks do).
+
+Verification is also **streamable**: the ``begin_coin_stream`` /
+``verify_coin_chunk`` / ``apply_public_bits_chunk`` / ``finish_coin_stream``
+family verifies a prover's nb proofs chunk by chunk over one evolving
+Fiat–Shamir transcript, folding each chunk's Line 12 update into a
+running product and then discarding it — peak memory O(chunk) instead of
+O(nb), which is what lets a 262,144-coin run fit on a laptop (see
+``repro.api.Session``).
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass, field
 
 from repro.core.client import _client_transcript
 from repro.core.messages import (
@@ -37,16 +48,43 @@ from repro.core.messages import (
     ProverStatus,
 )
 from repro.core.params import PublicParams
+from repro.core.plan import AggregationPlan
 from repro.core.prover import coin_transcript
+from repro.crypto.fiat_shamir import Transcript
+from repro.crypto.group import GroupElement
 from repro.crypto.pedersen import Commitment
 from repro.crypto.sigma.batch import GAMMA_BITS, SigmaBatch
+from repro.crypto.sigma.bitvec import BitVectorProof, verify_bit_vector
 from repro.crypto.sigma.onehot import OneHotProof, verify_one_hot
 from repro.crypto.sigma.or_bit import BitProof, verify_bit
-from repro.errors import VerificationError
+from repro.errors import ParameterError, VerificationError
 from repro.mpc.morra import MorraParticipant
 from repro.utils.rng import RNG, SystemRNG
 
 __all__ = ["PublicVerifier"]
+
+_PROOF_TYPES = {"bit": BitProof, "onehot": OneHotProof, "bitvec": BitVectorProof}
+
+
+@dataclass
+class _CoinStream:
+    """Per-prover state of a chunked coin verification."""
+
+    transcript: Transcript
+    lanes: int
+    received: int = 0
+    failed: bool = False
+    # The last verified chunk's commitments, awaiting their Morra bits.
+    pending: tuple[tuple[Commitment, ...], ...] = ()
+    # Running Line 12 folds per lane.
+    keep: list[GroupElement | None] = field(default_factory=list)
+    flip: list[GroupElement | None] = field(default_factory=list)
+    flips: list[int] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.keep = [None] * self.lanes
+        self.flip = [None] * self.lanes
+        self.flips = [0] * self.lanes
 
 
 class PublicVerifier(MorraParticipant):
@@ -60,9 +98,13 @@ class PublicVerifier(MorraParticipant):
         name: str = "verifier",
         batch: bool = True,
         gamma_rng: RNG | None = None,
+        plan: AggregationPlan | None = None,
     ) -> None:
         super().__init__(name, rng)
         self.params = params
+        self.plan = plan if plan is not None else AggregationPlan.identity(params.dimension)
+        if self.plan.dimension != params.dimension:
+            raise ParameterError("plan dimension does not match params dimension")
         self.batch = batch
         # Batch RLC weights must be unpredictable to proof authors even
         # when ``rng`` is a seeded simulation stream (a predictable γ
@@ -75,6 +117,13 @@ class PublicVerifier(MorraParticipant):
         # Adjusted coin-commitment products per prover, filled in phase 4.
         self._coin_messages: dict[str, CoinCommitmentMessage] = {}
         self._adjusted_products: dict[str, list[Commitment]] = {}
+        # Streaming state.
+        self._coin_streams: dict[str, _CoinStream] = {}
+        self._client_products: list[list[GroupElement | None]] | None = None
+
+    @property
+    def lanes(self) -> int:
+        return self.plan.lanes
 
     # Phase 1: client validation (Line 3) -----------------------------------
 
@@ -89,11 +138,16 @@ class PublicVerifier(MorraParticipant):
             return ClientStatus.INVALID_PROOF
         derived = broadcast.derived_commitments()
         transcript = _client_transcript(params, broadcast.client_id)
+        validity = self.plan.validity
         try:
-            if params.dimension == 1:
+            if validity == "bit":
                 verify_bit(params.pedersen, derived[0], broadcast.validity_proof, transcript)
-            else:
+            elif validity == "onehot":
                 verify_one_hot(params.pedersen, derived, broadcast.validity_proof, transcript)
+            else:
+                verify_bit_vector(
+                    params.pedersen, derived, broadcast.validity_proof, transcript
+                )
         except VerificationError:
             return ClientStatus.INVALID_PROOF
         return ClientStatus.VALID
@@ -105,8 +159,7 @@ class PublicVerifier(MorraParticipant):
             and all(len(row) == params.dimension for row in broadcast.share_commitments)
         ):
             return False
-        expected_proof = BitProof if params.dimension == 1 else OneHotProof
-        return isinstance(broadcast.validity_proof, expected_proof)
+        return isinstance(broadcast.validity_proof, _PROOF_TYPES[self.plan.validity])
 
     def validate_clients(
         self,
@@ -123,6 +176,9 @@ class PublicVerifier(MorraParticipant):
         ``complaints`` maps prover name → client ids whose private opening
         failed that prover's check; such clients are excluded with status
         BAD_OPENING (the public record resolving Figure 1's ambiguity).
+
+        Incremental by construction: the streaming session calls this
+        once per chunk and the audit record simply accumulates.
         """
         if self.batch:
             statuses = self._validate_clients_batched(broadcasts)
@@ -193,45 +249,88 @@ class PublicVerifier(MorraParticipant):
         params = self.params
         derived = broadcast.derived_commitments()
         transcript = _client_transcript(params, broadcast.client_id)
-        if params.dimension == 1:
+        validity = self.plan.validity
+        if validity == "bit":
             batch.add_bit_proof(derived[0], broadcast.validity_proof, transcript)
-        else:
+        elif validity == "onehot":
             batch.add_one_hot(derived, broadcast.validity_proof, transcript)
+        else:
+            batch.add_bit_vector(derived, broadcast.validity_proof, transcript)
+
+    def fold_client_commitments(
+        self, broadcasts: list[ClientBroadcast], valid_ids: list[str]
+    ) -> None:
+        """Fold included clients' share commitments into the running
+        per-(prover, coordinate) products the streamed Line 13 check
+        consumes — after which the broadcasts can be dropped."""
+        params = self.params
+        if self._client_products is None:
+            self._client_products = [
+                [None] * params.dimension for _ in range(params.num_provers)
+            ]
+        included = set(valid_ids)
+        for broadcast in broadcasts:
+            if broadcast.client_id not in included:
+                continue
+            for k, row in enumerate(broadcast.share_commitments):
+                products = self._client_products[k]
+                for m, commitment in enumerate(row):
+                    held = products[m]
+                    products[m] = (
+                        commitment.element
+                        if held is None
+                        else held * commitment.element
+                    )
 
     # Phase 2: prover coin validation (Lines 5-6) ----------------------------
 
-    def _coin_shape_ok(self, message: CoinCommitmentMessage) -> bool:
-        params = self.params
-        if len(message.commitments) != params.nb or len(message.proofs) != params.nb:
+    def _coin_shape_ok(
+        self, message: CoinCommitmentMessage, expected_rows: int | None = None
+    ) -> bool:
+        rows = self.params.nb if expected_rows is None else expected_rows
+        lanes = self.lanes
+        if len(message.commitments) != rows or len(message.proofs) != rows:
             return False
         return all(
-            len(c_row) == params.dimension and len(p_row) == params.dimension
+            len(c_row) == lanes and len(p_row) == lanes
             for c_row, p_row in zip(message.commitments, message.proofs)
         )
 
-    def _sequential_coin_note(
-        self, message: CoinCommitmentMessage, context: bytes
+    def _replay_coin_rows(
+        self,
+        transcript: Transcript,
+        commitments,
+        proofs,
+        start: int = 0,
     ) -> str | None:
-        """Replay one prover's coin proofs one by one.
+        """Replay coin proofs one by one on ``transcript``.
 
         Returns None when every proof verifies, else a note naming the
-        first failing coin — the pinpointing the batch path cannot do.
+        first failing coin (global index ``start + row``) — the
+        pinpointing the batch path cannot do.
         """
         params = self.params
-        transcript = coin_transcript(params, message.prover_id, context)
-        for j, (c_row, p_row) in enumerate(zip(message.commitments, message.proofs)):
+        for j, (c_row, p_row) in enumerate(zip(commitments, proofs)):
             for m, (commitment, proof) in enumerate(zip(c_row, p_row)):
                 try:
                     verify_bit(params.pedersen, commitment, proof, transcript)
                 except VerificationError as exc:
-                    return f"coin proof rejected at coin {j}, coordinate {m} ({exc})"
+                    return (
+                        f"coin proof rejected at coin {start + j}, coordinate {m} ({exc})"
+                    )
         return None
+
+    def _sequential_coin_note(
+        self, message: CoinCommitmentMessage, context: bytes
+    ) -> str | None:
+        """Replay one prover's full coin message from a fresh transcript."""
+        transcript = coin_transcript(self.params, message.prover_id, context)
+        return self._replay_coin_rows(transcript, message.commitments, message.proofs)
 
     def _fold_coin_message(
         self, batch: SigmaBatch, message: CoinCommitmentMessage, context: bytes
     ) -> None:
-        params = self.params
-        transcript = coin_transcript(params, message.prover_id, context)
+        transcript = coin_transcript(self.params, message.prover_id, context)
         for c_row, p_row in zip(message.commitments, message.proofs):
             for commitment, proof in zip(c_row, p_row):
                 batch.add_bit_proof(commitment, proof, transcript)
@@ -244,7 +343,7 @@ class PublicVerifier(MorraParticipant):
         """Check every coin commitment is a bit; record verdict on failure.
 
         Batched by default: one random-linear-combination multiexp over
-        all nb·M proofs, with the sequential path replayed on rejection
+        all nb·L proofs, with the sequential path replayed on rejection
         so the audit note names the exact failing coin.
         """
         if not self._coin_shape_ok(message):
@@ -312,10 +411,134 @@ class PublicVerifier(MorraParticipant):
                 results[message.prover_id] = True
         return results
 
+    # Streamed coin validation (Lines 5-6, chunked) ---------------------------
+
+    def begin_coin_stream(self, prover_id: str, context: bytes) -> None:
+        """Open a chunked verification stream for one prover's coins.
+
+        The stream shares one evolving Fiat–Shamir transcript across all
+        chunks, so the accepted proofs are exactly those a monolithic
+        :meth:`verify_coin_commitments` call would accept.
+        """
+        self._coin_streams[prover_id] = _CoinStream(
+            transcript=coin_transcript(self.params, prover_id, context),
+            lanes=self.lanes,
+        )
+
+    def _stream_for(self, prover_id: str) -> _CoinStream:
+        stream = self._coin_streams.get(prover_id)
+        if stream is None:
+            raise ParameterError(f"no open coin stream for {prover_id!r}")
+        return stream
+
+    def verify_coin_chunk(self, message: CoinCommitmentMessage) -> bool:
+        """Verify the next chunk of a prover's coin stream.
+
+        Each chunk is checked eagerly (one RLC multiexp per chunk), so a
+        cheating prover is caught — and the offending coin named, via
+        sequential replay from a transcript snapshot — the moment its
+        chunk arrives, not at the end of the run.
+        """
+        prover_id = message.prover_id
+        stream = self._stream_for(prover_id)
+        if stream.failed:
+            return False
+        rows = len(message.commitments)
+        if (
+            rows == 0
+            or not self._coin_shape_ok(message, expected_rows=rows)
+            or stream.received + rows > self.params.nb
+            or stream.pending
+        ):
+            stream.failed = True
+            self._reject_coins(prover_id, "malformed coin chunk")
+            return False
+        snapshot = stream.transcript.clone()
+        if self.batch:
+            batch = SigmaBatch(self.params.pedersen, self.gamma_rng)
+            try:
+                for c_row, p_row in zip(message.commitments, message.proofs):
+                    for commitment, proof in zip(c_row, p_row):
+                        batch.add_bit_proof(commitment, proof, stream.transcript)
+                batch.verify()
+            except VerificationError:
+                note = self._replay_coin_rows(
+                    snapshot, message.commitments, message.proofs, start=stream.received
+                )
+                if note is None:  # pragma: no cover - batch/sequential divergence (bug)
+                    note = "batched coin chunk rejected (sequential replay accepted)"
+                stream.failed = True
+                self._reject_coins(prover_id, note)
+                return False
+        else:
+            note = self._replay_coin_rows(
+                stream.transcript, message.commitments, message.proofs, start=stream.received
+            )
+            if note is not None:
+                stream.failed = True
+                self._reject_coins(prover_id, note)
+                return False
+        stream.pending = message.commitments
+        stream.received += rows
+        return True
+
+    def apply_public_bits_chunk(self, prover_id: str, public_bits: list[list[int]]) -> None:
+        """Fold the pending chunk's Line 12 updates into the running
+        per-lane products, then drop the chunk's commitments."""
+        stream = self._stream_for(prover_id)
+        if len(public_bits) != len(stream.pending):
+            raise ParameterError("public bits do not match the pending chunk")
+        group = self.params.group
+        for lane in range(stream.lanes):
+            keep = []
+            flip = []
+            for c_row, b_row in zip(stream.pending, public_bits):
+                element = c_row[lane].element
+                (flip if b_row[lane] == 1 else keep).append(element)
+            if keep:
+                folded = group.product(keep)
+                held = stream.keep[lane]
+                stream.keep[lane] = folded if held is None else held * folded
+            if flip:
+                folded = group.product(flip)
+                held = stream.flip[lane]
+                stream.flip[lane] = folded if held is None else held * folded
+                stream.flips[lane] += len(flip)
+        stream.pending = ()
+
+    def finish_coin_stream(self, prover_id: str) -> bool:
+        """Close a coin stream: all nb coins must have been verified and
+        adjusted; materializes the per-lane ĉ' products for Line 13."""
+        stream = self._stream_for(prover_id)
+        if stream.failed:
+            return False
+        if stream.received != self.params.nb or stream.pending:
+            stream.failed = True
+            self._reject_coins(
+                prover_id,
+                f"incomplete coin stream ({stream.received}/{self.params.nb} coins)",
+            )
+            return False
+        pedersen = self.params.pedersen
+        products: list[Commitment] = []
+        for lane in range(stream.lanes):
+            element = (
+                stream.keep[lane]
+                if stream.keep[lane] is not None
+                else self.params.group.identity()
+            )
+            if stream.flips[lane]:
+                constant = pedersen.commitment_to_constant(stream.flips[lane])
+                element = constant.element * element / stream.flip[lane]
+            products.append(Commitment(element))
+        self._adjusted_products[prover_id] = products
+        del self._coin_streams[prover_id]
+        return True
+
     # Phase 3/4: Morra results and the Line 12 update -------------------------
 
     def apply_public_bits(self, prover_id: str, public_bits: list[list[int]]) -> None:
-        """Compute Π_j ĉ'_j per coordinate from the public bits (Line 12).
+        """Compute Π_j ĉ'_j per lane from the public bits (Line 12).
 
         One homomorphic pass: coins with b = 0 multiply in as-is, coins
         with b = 1 contribute Com(1,0)·c⁻¹, so the whole column folds to
@@ -329,12 +552,12 @@ class PublicVerifier(MorraParticipant):
         group = params.group
         message = self._coin_messages[prover_id]
         products: list[Commitment] = []
-        for m in range(params.dimension):
+        for lane in range(self.lanes):
             keep = []
             flip = []
             for j in range(params.nb):
-                element = message.commitments[j][m].element
-                (flip if public_bits[j][m] == 1 else keep).append(element)
+                element = message.commitments[j][lane].element
+                (flip if public_bits[j][lane] == 1 else keep).append(element)
             element = group.product(keep)
             if flip:
                 constant = params.pedersen.commitment_to_constant(len(flip))
@@ -352,60 +575,99 @@ class PublicVerifier(MorraParticipant):
         """Line 13 for one prover, as a single multi_scale identity check.
 
         ``client_commitments[m]`` lists the included clients' commitments
-        to this prover's shares of coordinate m.  All M coordinate
-        equations are γ-weighted into one product
+        to this prover's shares of coordinate m.  All L lane equations are
+        γ-weighted into one product
 
-            Π_m [ ĉ'_m · Π_i c_{i,m} ]^{γ_m} · g^{-Σγ_m y_m} · h^{-Σγ_m z_m} == 1
+            Π_l [ ĉ'_l^{Δ_l} · Π_m (Π_i c_{i,m})^{w_{l,m}} ]^{γ_l}
+              · g^{-Σγ_l y_l} · h^{-Σγ_l z_l} == 1
 
         checked with one multi-exponentiation; a rejection replays the
-        per-coordinate check to name the mismatching coordinate.  With
-        ``batch=False`` only the per-coordinate products run.
+        per-lane check to name the mismatching coordinate.  With
+        ``batch=False`` only the per-lane products run.
         """
+        if len(client_commitments) != self.params.dimension:
+            self.audit.provers[output.prover_id] = ProverStatus.FAILED_FINAL_CHECK
+            return False
+        group = self.params.group
+        products = [
+            group.product(c.element for c in column) for column in client_commitments
+        ]
+        return self._check_output_against(output, products)
+
+    def check_prover_output_folded(self, output: ProverOutputMessage, prover_index: int) -> bool:
+        """Streamed Line 13: check against the running client products
+        accumulated by :meth:`fold_client_commitments`."""
         params = self.params
+        if self._client_products is None:
+            products = [params.group.identity()] * params.dimension
+        else:
+            products = [
+                p if p is not None else params.group.identity()
+                for p in self._client_products[prover_index]
+            ]
+        return self._check_output_against(output, products)
+
+    def _check_output_against(
+        self, output: ProverOutputMessage, coordinate_products: list[GroupElement]
+    ) -> bool:
+        """Shared Line 13 body over precomputed per-coordinate products."""
+        params = self.params
+        plan = self.plan
+        lanes = plan.lanes
         prover_id = output.prover_id
         if prover_id not in self._adjusted_products:
             self.audit.provers[prover_id] = ProverStatus.ABORTED
             return False
-        if len(output.y) != params.dimension or len(output.z) != params.dimension:
+        if len(output.y) != lanes or len(output.z) != lanes:
             self.audit.provers[prover_id] = ProverStatus.FAILED_FINAL_CHECK
             return False
         q = params.q
         pedersen = params.pedersen
         adjusted = self._adjusted_products[prover_id]
         if self.batch:
-            bases = []
-            exponents = []
+            identity_plan = plan.is_identity()
+            bases: list[GroupElement] = []
+            exponents: list[int] = []
+            coord_exps = [0] * plan.dimension
             g_exp = 0
             h_exp = 0
-            for m in range(params.dimension):
-                gamma = 1 if params.dimension == 1 else self.gamma_rng.randbits(GAMMA_BITS)
-                # All of coordinate m's commitments share γ_m: fold them
-                # with plain multiplications (one each) instead of giving
-                # every client commitment its own multiexp term.
-                bases.append(
-                    params.group.product(
-                        [adjusted[m].element]
-                        + [c.element for c in client_commitments[m]]
-                    )
-                )
-                exponents.append(gamma)
-                g_exp = (g_exp - gamma * output.y[m]) % q
-                h_exp = (h_exp - gamma * output.z[m]) % q
-            bases.extend([pedersen.g, pedersen.h])
-            exponents.extend([g_exp, h_exp])
-            if params.group.multi_scale(bases, exponents).is_identity():
+            for lane in range(lanes):
+                gamma = 1 if lanes == 1 else self.gamma_rng.randbits(GAMMA_BITS)
+                bases.append(adjusted[lane].element)
+                if identity_plan:
+                    # Lane l is coordinate l with unit weights — skip the
+                    # O(M) zero-weight walk per lane.
+                    exponents.append(gamma % q)
+                    coord_exps[lane] = gamma % q
+                else:
+                    exponents.append((gamma * plan.noise_weights[lane]) % q)
+                    for m, weight in enumerate(plan.lane_weights[lane]):
+                        if weight:
+                            coord_exps[m] = (coord_exps[m] + gamma * weight) % q
+                g_exp = (g_exp - gamma * output.y[lane]) % q
+                h_exp = (h_exp - gamma * output.z[lane]) % q
+            for m, exp in enumerate(coord_exps):
+                if exp:
+                    bases.append(coordinate_products[m])
+                    exponents.append(exp)
+            combined = params.group.multi_scale(bases, exponents)
+            combined = combined * pedersen.commit(g_exp, h_exp).element
+            if combined.is_identity():
                 self.audit.provers[prover_id] = ProverStatus.HONEST
                 return True
-        # Coordinate-by-coordinate: the whole check when batch=False, the
-        # pinpointing replay when the combined product rejected.
+        # Lane-by-lane: the whole check when batch=False, the pinpointing
+        # replay when the combined product rejected.
         mismatch = None
-        for m in range(params.dimension):
-            lhs = params.group.product(
-                [adjusted[m].element] + [c.element for c in client_commitments[m]]
-            )
-            rhs = pedersen.commit(output.y[m], output.z[m])
+        for lane in range(lanes):
+            lhs = adjusted[lane].element ** plan.noise_weights[lane] if plan.noise_weights[lane] != 1 else adjusted[lane].element
+            for m, weight in enumerate(plan.lane_weights[lane]):
+                if weight == 1:
+                    lhs = lhs * coordinate_products[m]
+                elif weight:
+                    lhs = lhs * (coordinate_products[m] ** weight)
+            rhs = pedersen.commit(output.y[lane], output.z[lane])
             if lhs != rhs.element:
-                mismatch = m
+                mismatch = lane
                 break
         if mismatch is None:
             if self.batch:  # pragma: no cover - batch/sequential divergence (bug)

@@ -95,3 +95,14 @@ class Transcript:
         child._state = self._state.copy()
         child._append_raw(b"fork", label.encode())
         return child
+
+    def clone(self) -> "Transcript":
+        """An exact copy of the current state.
+
+        Streamed verification snapshots the transcript before folding a
+        chunk of proofs so a failed chunk can be replayed proof-by-proof
+        (to name the cheater) from the identical starting state.
+        """
+        twin = Transcript.__new__(Transcript)
+        twin._state = self._state.copy()
+        return twin

@@ -75,6 +75,7 @@ __all__ = [
     "kernel_for",
     "FixedBaseTable",
     "GenericKernel",
+    "dual_power",
 ]
 
 # Straus' per-base wNAF window width, by max exponent bit length.
@@ -429,11 +430,66 @@ class FixedBaseTable:
 
     def power(self, exponent: int) -> GroupElement:
         """base ** exponent using only table lookups and multiplications."""
+        kernel = kernel_for(self._group)
+        return kernel.from_raw(self.power_raw(kernel, exponent))
+
+    def power_raw(self, kernel, exponent: int):
+        """base ** exponent as a kernel-raw value (no per-window objects).
+
+        The whole walk stays in the kernel's raw representation (ints for
+        Schnorr, extended/Jacobian coordinates for the curves); only the
+        caller converts back, so chained fixed-base products cost one
+        normalization total.
+        """
+        rows = self.raw_tables(kernel)
+        mul = kernel.mul
         e = exponent % self._group.order
-        acc = self._group.identity()
         mask = (1 << self._window) - 1
+        acc = None
         for i in range(self._nwindows):
             digit = (e >> (i * self._window)) & mask
             if digit:
-                acc = acc * self._tables[i][digit]
-        return acc
+                entry = rows[i][digit]
+                acc = entry if acc is None else mul(acc, entry)
+        return acc if acc is not None else kernel.identity_raw
+
+
+def dual_power(
+    table_a: FixedBaseTable, ea: int, table_b: FixedBaseTable, eb: int
+) -> GroupElement:
+    """``a ** ea * b ** eb`` over two fixed-base comb tables, in one walk.
+
+    This is the shape of every Pedersen operation — ``Com(x, r) = g^x h^r``
+    — and of the folded generator terms in Σ-batch verification.  The g-
+    and h-digit lookups interleave into a single raw accumulation, so the
+    pair costs barely more than one fixed-base power and far less than two
+    generic exponentiations.  Cached per :class:`~repro.crypto.pedersen.
+    PedersenParams`, the tables are shared by every commit, proof and
+    batch-verify call on the same parameters (the ROADMAP fixed-base item).
+    """
+    if table_a._group is not table_b._group:
+        raise ParameterError("dual_power requires tables over one group")
+    if table_a.window != table_b.window or table_a.nwindows != table_b.nwindows:
+        raise ParameterError("dual_power requires tables with matching geometry")
+    group = table_a._group
+    kernel = kernel_for(group)
+    rows_a = table_a.raw_tables(kernel)
+    rows_b = table_b.raw_tables(kernel)
+    mul = kernel.mul
+    window = table_a.window
+    mask = (1 << window) - 1
+    order = group.order
+    ea %= order
+    eb %= order
+    acc = None
+    for i in range(table_a.nwindows):
+        shift = i * window
+        da = (ea >> shift) & mask
+        if da:
+            entry = rows_a[i][da]
+            acc = entry if acc is None else mul(acc, entry)
+        db = (eb >> shift) & mask
+        if db:
+            entry = rows_b[i][db]
+            acc = entry if acc is None else mul(acc, entry)
+    return kernel.from_raw(acc if acc is not None else kernel.identity_raw)

@@ -22,7 +22,7 @@ from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 from repro.crypto.group import Group, GroupElement
-from repro.crypto.multiexp import FixedBaseTable
+from repro.crypto.multiexp import FixedBaseTable, dual_power, kernel_for
 from repro.errors import CommitmentOpeningError, ParameterError
 from repro.utils.rng import RNG, default_rng
 
@@ -99,10 +99,26 @@ class PedersenParams:
     # Committing ----------------------------------------------------------
 
     def commit(self, value: int, randomness: int) -> Commitment:
-        """Com(value, randomness) = g^value * h^randomness."""
-        value %= self.q
-        randomness %= self.q
-        return Commitment(self._g_table.power(value) * self._h_table.power(randomness))
+        """Com(value, randomness) = g^value * h^randomness.
+
+        One fused comb walk over the cached g/h tables (interleaved digit
+        lookups, raw-kernel accumulation) — the same inner loop as
+        :meth:`commit_many`, shared via :func:`~repro.crypto.multiexp.dual_power`.
+        """
+        return Commitment(dual_power(self._g_table, value, self._h_table, randomness))
+
+    def pow_g(self, exponent: int) -> GroupElement:
+        """g ** exponent via the cached fixed-base comb table."""
+        return self._g_table.power(exponent)
+
+    def pow_h(self, exponent: int) -> GroupElement:
+        """h ** exponent via the cached fixed-base comb table.
+
+        The Σ-OR verification equations are dominated by ``h^v`` powers
+        with full-width exponents; the precomputed table turns each into
+        ~order_bits/window multiplications with no squarings.
+        """
+        return self._h_table.power(exponent)
 
     def commit_fresh(self, value: int, rng: RNG | None = None) -> tuple[Commitment, Opening]:
         """Commit with fresh uniform randomness; returns (c, opening)."""
@@ -122,8 +138,6 @@ class PedersenParams:
         """
         if len(values) != len(randomness):
             raise ParameterError("values and randomness length mismatch")
-        from repro.crypto.multiexp import kernel_for
-
         kernel = kernel_for(self.group)
         g_rows = self._g_table.raw_tables(kernel)
         h_rows = self._h_table.raw_tables(kernel)

@@ -23,7 +23,7 @@ the order of a millisecond (versus 328 µs for the paper's dalek build on an
 M1).  The paper's *relative* finding (EC slower than modp) inverts here:
 255-bit Edwards arithmetic in Python beats CPython's 2048-bit ``pow`` —
 without native field code, bignum width dominates.  The micro benchmark
-(`python -m repro micro`) reports both numbers; see EXPERIMENTS.md.
+(`python -m repro micro`) reports both numbers; see DESIGN.md.
 """
 
 from __future__ import annotations

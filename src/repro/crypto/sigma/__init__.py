@@ -30,6 +30,11 @@ from repro.crypto.sigma.or_bit import (
     simulate_bit_transcript,
 )
 from repro.crypto.sigma.onehot import OneHotProof, prove_one_hot, verify_one_hot
+from repro.crypto.sigma.bitvec import (
+    BitVectorProof,
+    prove_bit_vector,
+    verify_bit_vector,
+)
 from repro.crypto.sigma.equality import EqualityProof, prove_equal, verify_equal
 from repro.crypto.sigma.batch import SigmaBatch, batch_verify_bits, batch_verify_one_hot
 from repro.crypto.sigma.interactive import (
@@ -54,6 +59,9 @@ __all__ = [
     "OneHotProof",
     "prove_one_hot",
     "verify_one_hot",
+    "BitVectorProof",
+    "prove_bit_vector",
+    "verify_bit_vector",
     "EqualityProof",
     "prove_equal",
     "verify_equal",

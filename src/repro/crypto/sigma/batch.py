@@ -38,6 +38,7 @@ from __future__ import annotations
 from repro.crypto.fiat_shamir import Transcript
 from repro.crypto.group import GroupElement
 from repro.crypto.pedersen import Commitment, PedersenParams
+from repro.crypto.sigma.bitvec import BitVectorProof, _bind_dimension
 from repro.crypto.sigma.onehot import OneHotProof
 from repro.crypto.sigma.or_bit import BitProof, _bind, _challenge
 from repro.errors import ProofRejected
@@ -154,6 +155,20 @@ class SigmaBatch:
         self._g_exp = (self._g_exp - gamma) % q
         self._h_exp = (self._h_exp - gamma * proof.randomness_sum) % q
 
+    def add_bit_vector(
+        self,
+        commitments: list[Commitment],
+        proof: "BitVectorProof",
+        transcript: Transcript,
+    ) -> None:
+        """Fold a bit-vector (range-decomposition) proof: M independent
+        bit proofs, no coordinate-sum equation."""
+        if len(commitments) != proof.dimension:
+            raise ProofRejected("proof dimension does not match commitments")
+        _bind_dimension(transcript, len(commitments))
+        for commitment, bit_proof in zip(commitments, proof.bit_proofs):
+            self.add_bit_proof(commitment, bit_proof, transcript)
+
     def merge(self, other: "SigmaBatch") -> None:
         """Absorb another accumulator (used for per-message staging)."""
         if other.params is not self.params:
@@ -165,11 +180,16 @@ class SigmaBatch:
         self._count += other._count
 
     def verify(self) -> None:
-        """One multi-exponentiation; raises :class:`ProofRejected` on failure."""
+        """One multi-exponentiation; raises :class:`ProofRejected` on failure.
+
+        The folded generator terms ``g^{Σ…} · h^{Σ…}`` are exactly a
+        Pedersen commitment, so they go through the cached fixed-base comb
+        tables (:meth:`PedersenParams.commit`) instead of joining the
+        variable-base multiexp.
+        """
         params = self.params
-        bases = self._bases + [params.g, params.h]
-        exponents = self._exponents + [self._g_exp, self._h_exp]
-        combined = params.group.multi_scale(bases, exponents)
+        combined = params.group.multi_scale(self._bases, self._exponents)
+        combined = combined * params.commit(self._g_exp, self._h_exp).element
         if not combined.is_identity():
             raise ProofRejected("batched Σ-proof verification failed")
 

@@ -112,11 +112,11 @@ def _prove_with_challenge(
     # Simulated branch: sample (e_sim, v_sim), derive announcement.
     e_sim = rng.field_element(q)
     v_sim = rng.field_element(q)
-    d_sim = (params.h ** v_sim) * (targets[sim] ** ((-e_sim) % q))
+    d_sim = params.pow_h(v_sim) * (targets[sim] ** ((-e_sim) % q))
 
     # Real branch: honest Schnorr announcement.
     b = rng.field_element(q)
-    d_real = params.h ** b
+    d_real = params.pow_h(b)
 
     d0, d1 = (d_real, d_sim) if real == 0 else (d_sim, d_real)
     e = challenge_of(d0, d1)
@@ -166,9 +166,9 @@ def verify_bit(
     if (proof.e0 + proof.e1) % q != e:
         raise ProofRejected("challenge split e0 + e1 != e")
     t0, t1 = branch_statements(params, commitment)
-    if params.h ** proof.v0 != proof.d0 * (t0 ** proof.e0):
+    if params.pow_h(proof.v0) != proof.d0 * (t0 ** proof.e0):
         raise ProofRejected("branch-0 verification equation failed")
-    if params.h ** proof.v1 != proof.d1 * (t1 ** proof.e1):
+    if params.pow_h(proof.v1) != proof.d1 * (t1 ** proof.e1):
         raise ProofRejected("branch-1 verification equation failed")
 
 
@@ -227,6 +227,6 @@ def simulate_bit_transcript(
     e1 = (challenge - e0) % q
     v0 = rng.field_element(q)
     v1 = rng.field_element(q)
-    d0 = (params.h ** v0) * (t0 ** ((-e0) % q))
-    d1 = (params.h ** v1) * (t1 ** ((-e1) % q))
+    d0 = params.pow_h(v0) * (t0 ** ((-e0) % q))
+    d1 = params.pow_h(v1) * (t1 ** ((-e1) % q))
     return BitProof(d0, d1, e0, e1, v0, v1)

@@ -47,11 +47,21 @@ class PrivacyAccountant:
     """Running ledger of (ε, δ) expenditures."""
 
     spent: list[tuple[float, float]] = field(default_factory=list)
+    labels: list[str] = field(default_factory=list)
 
     def charge(self, epsilon: float, delta: float, *, label: str = "") -> None:
         if epsilon < 0 or delta < 0:
             raise ParameterError("budgets must be non-negative")
         self.spent.append((epsilon, delta))
+        self.labels.append(label)
+
+    def ledger(self) -> list[tuple[str, float, float]]:
+        """Per-release charges as (label, ε, δ) rows — what a Session's
+        queries actually drew from the budget."""
+        return [
+            (label, eps, delta)
+            for label, (eps, delta) in zip(self.labels, self.spent)
+        ]
 
     def total_basic(self) -> tuple[float, float]:
         return basic_composition(self.spent)

@@ -17,7 +17,7 @@ Paper-consistency note: Table 1's caption pairs ε = 0.88, δ = 2⁻¹⁰ with
 nb = 262144 = 2¹⁸; Lemma 2.1 actually gives nb = 985 for those values (and
 ε ≈ 0.054 for nb = 2¹⁸).  We implement the lemma faithfully and provide
 ``round_to_power_of_two`` for benchmark parity with the paper's workload
-sizes.  See EXPERIMENTS.md.
+sizes.  See DESIGN.md and `python -m repro table1`.
 """
 
 from __future__ import annotations

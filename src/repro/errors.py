@@ -27,6 +27,7 @@ __all__ = [
     "ProofRejected",
     "ClientInputRejected",
     "ProverCheatingDetected",
+    "SessionStateError",
     "ProtocolAbort",
     "EarlyExit",
 ]
@@ -86,6 +87,16 @@ class ProverCheatingDetected(VerificationError):
 
     Raised by the public verifier when the Line 13 homomorphic check
     fails, or when a prover's private-coin commitment is not in L_Bit.
+    """
+
+
+class SessionStateError(ReproError):
+    """A session method was called in the wrong phase.
+
+    The :class:`repro.api.Session` engine is an explicit state machine
+    (ENROLL → VALIDATE → COMMIT_COINS → MORRA → ADJUST → RELEASE); calls
+    that would violate the protocol's ordering — submitting clients after
+    coins are committed, say — fail loudly rather than corrupt the run.
     """
 
 

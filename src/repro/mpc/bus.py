@@ -52,7 +52,15 @@ def _payload_size(payload: Any) -> int:
 
 @dataclass
 class SimulatedNetwork:
-    """Synchronous in-memory channels between named parties."""
+    """Synchronous in-memory channels between named parties.
+
+    ``buffering=False`` turns the bus into a pure accounting transport:
+    traffic is still counted per sender, but payloads are not retained in
+    delivery queues.  The streaming session engine uses this so undrained
+    broadcast queues (every protocol message × every registered client)
+    cannot dominate peak memory; ``receive`` on a non-buffering bus is a
+    protocol abort, exactly as an unexpectedly silent peer would be.
+    """
 
     parties: set[str] = field(default_factory=set)
     _queues: dict[tuple[str, str], deque] = field(default_factory=lambda: defaultdict(deque))
@@ -60,6 +68,7 @@ class SimulatedNetwork:
     messages_sent: dict[str, int] = field(default_factory=lambda: defaultdict(int))
     log: list[Envelope] = field(default_factory=list)
     record_log: bool = False
+    buffering: bool = True
 
     def register(self, name: str) -> None:
         if name in self.parties:
@@ -76,15 +85,17 @@ class SimulatedNetwork:
         """Point-to-point ordered delivery."""
         self._check_party(sender)
         self._check_party(recipient)
-        self._queues[(sender, recipient)].append(payload)
+        if self.buffering:
+            self._queues[(sender, recipient)].append(payload)
         self._account(sender, recipient, payload)
 
     def broadcast(self, sender: str, payload: Any) -> None:
         """Deliver to every other party (and the public log)."""
         self._check_party(sender)
-        for recipient in sorted(self.parties):
-            if recipient != sender:
-                self._queues[(sender, recipient)].append(payload)
+        if self.buffering:
+            for recipient in sorted(self.parties):
+                if recipient != sender:
+                    self._queues[(sender, recipient)].append(payload)
         self._account(sender, "*", payload)
 
     def _account(self, sender: str, recipient: str, payload: Any) -> None:

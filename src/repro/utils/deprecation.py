@@ -1,0 +1,42 @@
+"""Once-per-process deprecation warnings for the legacy run_*() API.
+
+The legacy classes remain importable and fully functional as thin shims
+over :mod:`repro.api`, but each warns exactly once per calling module —
+loud enough to steer migrations (and to trip the CI filter that
+escalates DeprecationWarnings from repro-internal callers to errors),
+quiet enough not to drown a batch run that calls ``run_bits`` ten
+thousand times.  Keying the registry by caller means an external
+(test-suite) use of a deprecated API can never silence a later
+repro-internal use of the same API.
+"""
+
+from __future__ import annotations
+
+import sys
+import warnings
+
+__all__ = ["warn_once"]
+
+_WARNED: set[tuple[str, str]] = set()
+
+
+def warn_once(key: str, message: str, *, stacklevel: int = 3) -> None:
+    """Emit ``DeprecationWarning`` for ``key`` at most once per caller.
+
+    ``stacklevel=3`` attributes the warning to the deprecated API's
+    caller (warn_once → shim method → caller); the suppression registry
+    is keyed by that same caller's module.
+    """
+    try:
+        caller = sys._getframe(stacklevel - 1).f_globals.get("__name__", "?")
+    except ValueError:
+        caller = "?"
+    if (key, caller) in _WARNED:
+        return
+    _WARNED.add((key, caller))
+    warnings.warn(message, DeprecationWarning, stacklevel=stacklevel)
+
+
+def _reset() -> None:
+    """Forget warned keys (test helper only)."""
+    _WARNED.clear()

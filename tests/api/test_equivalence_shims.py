@@ -1,0 +1,160 @@
+"""Deprecated shims ≡ new API: byte-identical releases, warn-once.
+
+Per workload (count via ``run_bits``, histogram, bounded sum), the
+legacy class and the Session API must produce *identical*
+``Release``/audit records under a seeded RNG — the shims are thin
+delegations, and these tests keep them that way.
+"""
+
+import warnings
+
+import pytest
+
+from repro.api import BoundedSumQuery, CountQuery, HistogramQuery, Session
+from repro.core.bounded_sum import VerifiableBoundedSum
+from repro.core.histogram import VerifiableHistogram
+from repro.core.params import setup
+from repro.core.protocol import VerifiableBinomialProtocol
+from repro.utils.deprecation import _reset as reset_deprecations
+from repro.utils.rng import SeededRNG
+
+GROUP = "p64-sim"
+NB = 8
+
+
+@pytest.fixture(autouse=True)
+def fresh_deprecation_registry():
+    reset_deprecations()
+    yield
+    reset_deprecations()
+
+
+def quiet(callable_, *args, **kwargs):
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        return callable_(*args, **kwargs)
+
+
+class TestByteIdenticalReleases:
+    def test_run_bits_equals_count_session(self):
+        bits = [1, 0, 1, 1, 0, 1]
+        params = setup(1.0, 2**-10, num_provers=2, group=GROUP, nb_override=NB)
+        protocol = quiet(VerifiableBinomialProtocol, params, rng=SeededRNG("eq"))
+        old = quiet(protocol.run_bits, bits)
+
+        session = Session(
+            CountQuery(1.0, 2**-10), num_provers=2, group=GROUP,
+            nb_override=NB, rng=SeededRNG("eq"),
+        )
+        session.submit(bits)
+        new = session.release().release
+
+        assert old.release == new  # raw, estimate, accepted, audit — all of it
+        assert old.release.audit.clients == new.audit.clients
+        assert old.release.audit.provers == new.audit.provers
+
+    def test_histogram_equals_histogram_session(self):
+        choices = [0, 2, 1, 0, 0, 2]
+        hist = quiet(
+            VerifiableHistogram, 3, 1.0, 2**-10,
+            num_provers=2, group=GROUP,
+            params=setup(1.0, 2**-10, num_provers=2, dimension=3,
+                         group=GROUP, nb_override=NB),
+            rng=SeededRNG("eq-h"),
+        )
+        old_release, old_result = hist.run(choices)
+
+        session = Session(
+            HistogramQuery(bins=3, epsilon=1.0, delta=2**-10),
+            num_provers=2, group=GROUP, nb_override=NB, rng=SeededRNG("eq-h"),
+        )
+        session.submit(choices)
+        new = session.release().release
+
+        assert old_result.release == new
+        assert old_release.counts == new.estimate
+        assert old_release.accepted == new.accepted
+
+    def test_bounded_sum_equals_sum_session(self):
+        values = [3, 7, 12, 0, 15]
+        system = quiet(
+            VerifiableBoundedSum, 4, 1.0, 2**-10,
+            group=GROUP, nb_override=NB,
+        )
+        base = SeededRNG("eq-b")
+        submissions = [
+            system.submit(f"client-{i}", v, base.fork(f"client-{i}"))
+            for i, v in enumerate(values)
+        ]
+        old = system.run(submissions, curator_rng=SeededRNG("eq-b"))
+
+        session = Session(
+            BoundedSumQuery(value_bits=4, epsilon=1.0, delta=2**-10),
+            group=GROUP, nb_override=NB, rng=SeededRNG("eq-b"),
+        )
+        session.submit(values)
+        new = session.release().release
+
+        assert old.raw == new.raw[0]
+        assert old.estimate == new.estimate[0]
+        assert old.accepted == new.accepted
+        assert old.rejected_clients == ()
+
+
+class TestWarnExactlyOnce:
+    def _count_warnings(self, fire, times=3):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            for _ in range(times):
+                fire()
+        return [w for w in caught if issubclass(w.category, DeprecationWarning)]
+
+    def test_run_bits_warns_once(self):
+        params = setup(1.0, 2**-10, group=GROUP, nb_override=4)
+
+        def fire():
+            VerifiableBinomialProtocol(params, rng=SeededRNG("w")).run_bits([1])
+
+        warned = self._count_warnings(fire)
+        assert len(warned) == 1
+        assert "run_bits" in str(warned[0].message)
+
+    def test_histogram_warns_once(self):
+        def fire():
+            VerifiableHistogram(2, 1.0, 2**-10, group=GROUP, rng=SeededRNG("w"))
+
+        warned = self._count_warnings(fire)
+        assert len(warned) == 1
+        assert "VerifiableHistogram" in str(warned[0].message)
+
+    def test_bounded_sum_warns_once(self):
+        def fire():
+            VerifiableBoundedSum(2, 1.0, 2**-10, group=GROUP, nb_override=4)
+
+        warned = self._count_warnings(fire)
+        assert len(warned) == 1
+        assert "VerifiableBoundedSum" in str(warned[0].message)
+
+    def test_noise_wrapper_warns_once(self):
+        from repro.core.composition import VerifiableNoiseWrapper
+
+        params = setup(1.0, 2**-10, group=GROUP, nb_override=4)
+
+        def fire():
+            VerifiableNoiseWrapper(params, SeededRNG("w"))
+
+        warned = self._count_warnings(fire)
+        assert len(warned) == 1
+
+    def test_plain_run_does_not_warn(self):
+        """run() stays supported for custom prover/verifier wiring."""
+        from repro.core.client import Client
+
+        params = setup(1.0, 2**-10, group=GROUP, nb_override=4)
+
+        def fire():
+            VerifiableBinomialProtocol(params, rng=SeededRNG("w")).run(
+                [Client("c0", [1], SeededRNG("c"))]
+            )
+
+        assert self._count_warnings(fire) == []

@@ -1,0 +1,120 @@
+"""Query descriptions: encodings, plans, budgets, composition rules."""
+
+import pytest
+
+from repro.api import BoundedSumQuery, ComposedQuery, CountQuery, HistogramQuery
+from repro.core.plan import AggregationPlan
+from repro.errors import ParameterError
+
+
+class TestCountQuery:
+    def test_encoding(self):
+        q = CountQuery(1.0, 2**-10)
+        assert q.encode(1) == [1]
+        assert q.encode(0) == [0]
+        with pytest.raises(ParameterError):
+            q.encode(2)
+
+    def test_plan_is_identity(self):
+        assert CountQuery(1.0, 2**-10).build_plan().is_identity()
+
+    def test_budget(self):
+        assert CountQuery(0.5, 0.25).charged_budget() == (0.5, 0.25)
+
+
+class TestHistogramQuery:
+    def test_encoding_one_hot(self):
+        q = HistogramQuery(bins=4, epsilon=1.0, delta=2**-10)
+        assert q.encode(2) == [0, 0, 1, 0]
+        with pytest.raises(ParameterError):
+            q.encode(4)
+
+    def test_needs_two_bins(self):
+        with pytest.raises(ParameterError):
+            HistogramQuery(bins=1, epsilon=1.0, delta=2**-10)
+
+    def test_budget_doubles(self):
+        """One-hot input change moves two bins ⇒ end-to-end 2ε, 2δ."""
+        assert HistogramQuery(3, 0.5, 0.125).charged_budget() == (1.0, 0.25)
+
+
+class TestBoundedSumQuery:
+    def test_encoding_lsb_first(self):
+        q = BoundedSumQuery(value_bits=4, epsilon=1.0, delta=2**-10)
+        assert q.encode(13) == [1, 0, 1, 1]
+        with pytest.raises(ParameterError):
+            q.encode(16)
+        with pytest.raises(ParameterError):
+            q.encode(-1)
+
+    def test_plan_weights_and_noise(self):
+        q = BoundedSumQuery(value_bits=3, epsilon=1.0, delta=2**-10)
+        plan = q.build_plan()
+        assert plan.lane_weights == ((1, 2, 4),)
+        assert plan.noise_weights == (7,)
+        assert plan.validity == "bitvec"
+        assert not plan.is_identity()
+
+    def test_params_calibrated_at_eps_over_delta(self):
+        narrow = BoundedSumQuery(2, 1.0, 2**-10).build_params(
+            num_provers=1, group="p64-sim"
+        )
+        wide = BoundedSumQuery(8, 1.0, 2**-10).build_params(
+            num_provers=1, group="p64-sim"
+        )
+        assert wide.nb > narrow.nb
+
+    def test_value_bits_range(self):
+        with pytest.raises(ParameterError):
+            BoundedSumQuery(0, 1.0, 2**-10)
+        with pytest.raises(ParameterError):
+            BoundedSumQuery(33, 1.0, 2**-10)
+
+
+class TestComposedQuery:
+    def test_budget_sums_subqueries(self):
+        q = ComposedQuery([
+            CountQuery(0.5, 0.1),
+            HistogramQuery(3, 0.25, 0.05),
+        ])
+        assert q.charged_budget() == (0.5 + 0.5, 0.1 + 0.1)
+
+    def test_rejects_empty_and_nested(self):
+        with pytest.raises(ParameterError):
+            ComposedQuery([])
+        inner = ComposedQuery([CountQuery(1.0, 0.1)])
+        with pytest.raises(ParameterError):
+            ComposedQuery([inner])
+
+    def test_label_names_subqueries(self):
+        q = ComposedQuery([CountQuery(1.0, 0.1), BoundedSumQuery(4, 1.0, 0.1)])
+        assert "count" in q.label and "bounded-sum[4b]" in q.label
+
+
+class TestAggregationPlan:
+    def test_identity_roundtrip(self):
+        plan = AggregationPlan.identity(3)
+        assert plan.lanes == 3 and plan.dimension == 3
+        assert plan.is_identity()
+        assert plan.noise_mean(2, 8) == (8.0, 8.0, 8.0)
+
+    def test_weighted_sum_noise_mean(self):
+        plan = AggregationPlan.weighted_sum((1, 2, 4), 7)
+        assert plan.lanes == 1 and plan.dimension == 3
+        assert plan.noise_mean(1, 8) == (28.0,)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            AggregationPlan(lane_weights=(), noise_weights=(), validity="bit")
+        with pytest.raises(ParameterError):
+            AggregationPlan(
+                lane_weights=((1, 0), (1,)), noise_weights=(1, 1), validity="onehot"
+            )
+        with pytest.raises(ParameterError):
+            AggregationPlan(
+                lane_weights=((1,),), noise_weights=(1,), validity="wat"
+            )
+        with pytest.raises(ParameterError):
+            AggregationPlan(
+                lane_weights=((1, 0),), noise_weights=(1,), validity="bit"
+            )

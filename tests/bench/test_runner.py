@@ -106,7 +106,7 @@ class TestFormatting:
     def test_experiment_registry(self):
         assert set(EXPERIMENTS) == {
             "table1", "fig3", "fig4", "table2", "micro", "err", "comm",
-            "attacks", "separation", "multiexp",
+            "attacks", "separation", "multiexp", "streaming",
         }
 
     def test_run_multiexp_rows(self, tmp_path, monkeypatch):

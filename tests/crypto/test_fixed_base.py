@@ -1,0 +1,103 @@
+"""Fixed-base comb tables: cross-backend equivalence with plain ``**``.
+
+The Pedersen generators g/h are exponentiated millions of times per run;
+``PedersenParams`` caches comb tables for both and every hot path
+(commit, Σ-OR verify, batch-verify generator folds) goes through them.
+These tests pin the tables to the semantics of naive exponentiation on
+every group backend.
+"""
+
+import pytest
+
+from repro.crypto.multiexp import FixedBaseTable, dual_power, kernel_for
+from repro.crypto.pedersen import PedersenParams
+from repro.errors import ParameterError
+from repro.utils.rng import SeededRNG
+
+
+def _backends():
+    from repro.crypto.p256 import P256Group
+    from repro.crypto.ristretto import RistrettoGroup
+    from repro.crypto.schnorr_group import SchnorrGroup
+
+    return [
+        SchnorrGroup.named("p64-sim"),
+        SchnorrGroup.named("p128-sim"),
+        RistrettoGroup.instance(),
+        P256Group.instance(),
+    ]
+
+
+@pytest.fixture(scope="module", params=range(4), ids=["p64", "p128", "ristretto", "p256"])
+def pedersen(request):
+    return PedersenParams(_backends()[request.param])
+
+
+def _exponents(pedersen, n=8):
+    rng = SeededRNG(f"fixed-base-{pedersen.group.name}")
+    edge = [0, 1, 2, pedersen.q - 1, pedersen.q // 2]
+    return edge + [rng.field_element(pedersen.q) for _ in range(n)]
+
+
+class TestFixedBaseTables:
+    def test_pow_g_matches_naive(self, pedersen):
+        for e in _exponents(pedersen):
+            assert pedersen.pow_g(e) == pedersen.g ** e
+
+    def test_pow_h_matches_naive(self, pedersen):
+        for e in _exponents(pedersen):
+            assert pedersen.pow_h(e) == pedersen.h ** e
+
+    def test_dual_power_matches_naive(self, pedersen):
+        exps = _exponents(pedersen)
+        for a, b in zip(exps, reversed(exps)):
+            expected = (pedersen.g ** a) * (pedersen.h ** b)
+            assert dual_power(pedersen._g_table, a, pedersen._h_table, b) == expected
+
+    def test_commit_is_fused_dual_power(self, pedersen):
+        rng = SeededRNG("commit")
+        for _ in range(5):
+            x = rng.field_element(pedersen.q)
+            r = rng.field_element(pedersen.q)
+            assert pedersen.commit(x, r).element == (pedersen.g ** x) * (pedersen.h ** r)
+
+    def test_negative_exponents_reduced(self, pedersen):
+        assert pedersen.pow_g(-1) == pedersen.g ** (pedersen.q - 1)
+        assert pedersen.commit(-2, -3).element == pedersen.commit(
+            pedersen.q - 2, pedersen.q - 3
+        ).element
+
+    def test_power_raw_roundtrip(self, pedersen):
+        kernel = kernel_for(pedersen.group)
+        table = pedersen._g_table
+        for e in _exponents(pedersen, n=3):
+            assert kernel.from_raw(table.power_raw(kernel, e)) == pedersen.g ** e
+
+
+class TestDualPowerValidation:
+    def test_mismatched_groups_rejected(self):
+        from repro.crypto.schnorr_group import SchnorrGroup
+
+        a = PedersenParams(SchnorrGroup.named("p64-sim"))
+        b = PedersenParams(SchnorrGroup.named("p128-sim"))
+        with pytest.raises(ParameterError):
+            dual_power(a._g_table, 1, b._h_table, 1)
+
+    def test_mismatched_geometry_rejected(self):
+        from repro.crypto.schnorr_group import SchnorrGroup
+
+        group = SchnorrGroup.named("p64-sim")
+        wide = FixedBaseTable(group.generator(), window=8)
+        narrow = FixedBaseTable(group.generator(), window=4)
+        with pytest.raises(ParameterError):
+            dual_power(wide, 1, narrow, 1)
+
+    def test_tables_cached_per_params(self):
+        """One comb table pair per PedersenParams — the cache the hot
+        paths rely on (rebuilding per call would erase the win)."""
+        from repro.crypto.schnorr_group import SchnorrGroup
+
+        p = PedersenParams(SchnorrGroup.named("p64-sim"))
+        assert p._g_table is p._g_table
+        assert p._g_table.base == p.g
+        assert p._h_table.base == p.h

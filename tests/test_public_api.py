@@ -1,10 +1,14 @@
 """Public API surface: imports, docstrings, the README quickstart."""
 
 import importlib
+import re
+from pathlib import Path
 
 import pytest
 
 import repro
+
+README = Path(__file__).resolve().parent.parent / "README.md"
 
 
 class TestPublicApi:
@@ -13,14 +17,19 @@ class TestPublicApi:
             assert hasattr(repro, name), name
 
     def test_version(self):
-        assert repro.__version__ == "1.0.0"
+        assert repro.__version__ == "2.0.0"
+
+    def test_query_api_is_advertised(self):
+        for name in ("Session", "CountQuery", "HistogramQuery",
+                     "BoundedSumQuery", "ComposedQuery", "Phase"):
+            assert name in repro.__all__, name
 
     @pytest.mark.parametrize(
         "module",
         [
-            "repro.core", "repro.crypto", "repro.crypto.sigma", "repro.dp",
-            "repro.mpc", "repro.sharing", "repro.baselines", "repro.attacks",
-            "repro.analysis", "repro.bench", "repro.utils",
+            "repro.api", "repro.core", "repro.crypto", "repro.crypto.sigma",
+            "repro.dp", "repro.mpc", "repro.sharing", "repro.baselines",
+            "repro.attacks", "repro.analysis", "repro.bench", "repro.utils",
         ],
     )
     def test_subpackage_exports_resolve(self, module):
@@ -30,15 +39,36 @@ class TestPublicApi:
             assert hasattr(mod, name), f"{module}.{name}"
 
     def test_quickstart_from_readme(self):
-        """The exact snippet advertised in the package docstring."""
-        from repro import setup, VerifiableBinomialProtocol
+        """Execute the README's quickstart snippet *verbatim*.
 
-        params = setup(epsilon=1.0, delta=2**-10, num_provers=1, group="p64-sim",
-                       nb_override=32)
-        protocol = VerifiableBinomialProtocol(params)
-        result = protocol.run_bits([1, 0, 1, 1, 0, 1])
-        assert result.release.accepted
-        assert isinstance(result.release.scalar_estimate, float)
+        The snippet is extracted from README.md, so docs and behavior
+        cannot drift apart.
+        """
+        text = README.read_text()
+        blocks = re.findall(r"```python\n(.*?)```", text, flags=re.DOTALL)
+        assert blocks, "README.md lost its python quickstart block"
+        snippet = blocks[0]
+        assert "ComposedQuery" in snippet and "session.release()" in snippet
+        namespace: dict = {}
+        exec(compile(snippet, str(README), "exec"), namespace)  # noqa: S102
+        result = namespace["result"]
+        assert result.accepted
+        assert len(result.results) == 3
+
+    def test_docstring_pointers_exist(self):
+        """The package docstring names README.md and DESIGN.md — both must
+        exist (they were once dangling references)."""
+        root = README.parent
+        for name in ("README.md", "DESIGN.md"):
+            assert name in repro.__doc__
+            assert (root / name).is_file(), name
+
+    def test_paper_attribution(self):
+        """The source paper is Narayan, Feldman, Papadimitriou & Haeberlen
+        (EuroSys 2015) — not Biswas & Cormode."""
+        assert "Narayan" in repro.__doc__
+        assert "EuroSys 2015" in repro.__doc__
+        assert "Biswas" not in repro.__doc__
 
 
 class TestCli:
@@ -47,7 +77,7 @@ class TestCli:
 
         assert main(["list"]) == 0
         out = capsys.readouterr().out
-        assert "table1" in out and "separation" in out
+        assert "table1" in out and "separation" in out and "streaming" in out
 
     def test_run_separation(self, capsys):
         from repro.cli import main

@@ -312,6 +312,11 @@ def run_comm(
     of the protocol"; this quantifies it: bytes per client validation
     (Σ-OR one-hot proof + commitments vs the sketch's shares +
     correlation), and bytes per noise coin (commitment + proof).
+
+    The trailing rows report a full K = 2 session's per-role traffic from
+    the message bus, whose accounting is now *exact* encoded wire bytes
+    for every protocol message (see :func:`repro.crypto.serialization.wire_size`)
+    rather than a best-effort estimate.
     """
     from repro.crypto.fiat_shamir import Transcript
     from repro.crypto.serialization import (
@@ -364,6 +369,32 @@ def run_comm(
         )
         rows.append(
             {"item": "client validation, sketch (2 servers)", "M": m, "bytes": sketch_bytes}
+        )
+
+    # End-to-end session traffic, exact wire bytes per role (K = 2).
+    from repro.api import CountQuery, Session
+
+    session = Session(
+        CountQuery(1.0, PAPER_DELTA),
+        num_provers=2,
+        group=group,
+        nb_override=31,
+        rng=SeededRNG(f"{seed}-session"),
+    )
+    session.submit([1, 0, 1, 1])
+    result = session.release()
+    network = result.results[0].engine_result.network
+    by_role = {"clients": 0, "provers": 0, "verifier": 0}
+    for sender, sent in sorted(network.bytes_sent.items()):
+        if sender.startswith("client"):
+            by_role["clients"] += sent
+        elif sender.startswith("prover"):
+            by_role["provers"] += sent
+        else:
+            by_role["verifier"] += sent
+    for role, sent in by_role.items():
+        rows.append(
+            {"item": f"session wire bytes (n=4, nb=31, K=2), {role}", "M": 1, "bytes": sent}
         )
     return rows
 

@@ -3,6 +3,11 @@
 ``python -m repro list`` shows the experiment index; ``all`` runs every
 experiment in sequence.  Workload sizes default to scaled-down values —
 set ``REPRO_PAPER_SCALE=1`` for paper-scale runs (slow in pure Python).
+
+``python -m repro serve`` runs a session as separate OS processes — an
+analyst front-end, K prover servers and a client population — over the
+``multiprocessing``-pipe or TCP transport (see :mod:`repro.net`), and
+checks the release is byte-identical to the in-process path when seeded.
 """
 
 from __future__ import annotations
@@ -27,15 +32,55 @@ _DESCRIPTIONS = {
 }
 
 
+def _serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description="Run one verifiable-DP session as separate OS processes",
+    )
+    parser.add_argument(
+        "--transport",
+        choices=("memory", "multiprocess", "socket"),
+        default="multiprocess",
+        help="node substrate: threads over the in-memory bus, pipes, or TCP",
+    )
+    parser.add_argument("--servers", type=int, default=2, help="prover count K")
+    parser.add_argument("--clients", type=int, default=8, help="client count n")
+    parser.add_argument("--nb", type=int, default=64, help="noise coins per prover")
+    parser.add_argument("--bins", type=int, default=1, help=">1 runs a histogram query")
+    parser.add_argument("--group", default="p64-sim", help="group backend name")
+    parser.add_argument(
+        "--chunk", type=int, default=None, help="streaming chunk size (default: buffered)"
+    )
+    parser.add_argument(
+        "--seed",
+        default="serve",
+        help="RNG seed; enables the byte-identical check ('none' disables)",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="socket transport host")
+    parser.add_argument("--port", type=int, default=0, help="socket port (0 = ephemeral)")
+    parser.add_argument("--timeout", type=float, default=120.0, help="per-recv timeout")
+    return parser
+
+
 def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "serve":
+        from repro.net.serve import main as serve_main
+
+        args = _serve_parser().parse_args(argv[1:])
+        if args.seed == "none":
+            args.seed = None
+        return serve_main(args)
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduction harness for 'Verifiable Differential Privacy'",
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all", "list"],
-        help="experiment id (see DESIGN.md) or 'all'/'list'",
+        choices=sorted(EXPERIMENTS) + ["all", "list", "serve"],
+        help="experiment id (see DESIGN.md), 'all'/'list', or 'serve' "
+        "(multi-process serving demo; run 'serve --help' for options)",
     )
     args = parser.parse_args(argv)
 

@@ -27,6 +27,8 @@ __all__ = [
     "ClientShareMessage",
     "CoinCommitmentMessage",
     "ProverOutputMessage",
+    "MorraCommitMessage",
+    "MorraRevealMessage",
     "ClientStatus",
     "ProverStatus",
     "AuditRecord",
@@ -87,6 +89,31 @@ class ProverOutputMessage:
     prover_id: str
     y: tuple[int, ...]
     z: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class MorraCommitMessage:
+    """One party's Morra commit round (Algorithm 1, step 2).
+
+    ``digests[i]`` is the hash commitment to contribution m_i of the i-th
+    parallel instance; the values themselves stay private until reveal.
+    """
+
+    sender: str
+    digests: tuple[bytes, ...]
+
+
+@dataclass(frozen=True)
+class MorraRevealMessage:
+    """One party's Morra reveal round (Algorithm 1, step 3).
+
+    Only the contributed values are public protocol messages; the
+    commitment randomness travels on the point-to-point opening channel
+    and is consumed by the verifying parties.
+    """
+
+    sender: str
+    values: tuple[int, ...]
 
 
 class ClientStatus(Enum):

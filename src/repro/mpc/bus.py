@@ -7,9 +7,12 @@ and per-protocol traffic accounting (bytes and message counts), which the
 bench harness reports alongside timings.
 
 Messages are delivered synchronously in send order per (sender, recipient)
-pair — the model every protocol in the paper assumes.  Byte sizes are
-estimated from the payload's ``to_bytes``/``__len__`` when available so
-communication-cost numbers in benchmarks are meaningful.
+pair — the model every protocol in the paper assumes.  Traffic accounting
+is *exact* for every message with a wire codec in
+:mod:`repro.crypto.serialization` (the full protocol message set of ΠBin):
+the payload's real encoded frame length is charged, so communication-cost
+numbers in benchmarks equal actual wire bytes.  Payloads without a codec
+fall back to a best-effort ``to_bytes``/``__len__`` estimate.
 """
 
 from __future__ import annotations
@@ -18,7 +21,7 @@ from collections import defaultdict, deque
 from dataclasses import dataclass, field
 from typing import Any
 
-from repro.errors import ParameterError, ProtocolAbort
+from repro.errors import EncodingError, ParameterError, ProtocolAbort
 
 __all__ = ["Envelope", "SimulatedNetwork"]
 
@@ -32,8 +35,31 @@ class Envelope:
     payload: Any
 
 
+_wire_size = None  # resolved lazily; serialization imports core which imports us
+
+
 def _payload_size(payload: Any) -> int:
-    """Best-effort byte size of a payload for traffic accounting."""
+    """Byte size of a payload for traffic accounting.
+
+    Exact (real encoded frame length) when the payload type is in the
+    serialization registry; best-effort estimation otherwise.
+    """
+    global _wire_size
+    if _wire_size is None:
+        from repro.crypto.serialization import wire_size
+
+        _wire_size = wire_size
+    try:
+        exact = _wire_size(payload)
+    except EncodingError:
+        exact = None
+    if exact is not None:
+        return exact
+    return _estimate_size(payload)
+
+
+def _estimate_size(payload: Any) -> int:
+    """Best-effort byte size for payloads without a wire codec."""
     if isinstance(payload, (bytes, bytearray)):
         return len(payload)
     if hasattr(payload, "to_bytes") and not isinstance(payload, int):
@@ -44,9 +70,9 @@ def _payload_size(payload: Any) -> int:
     if isinstance(payload, int):
         return max(1, (payload.bit_length() + 7) // 8)
     if isinstance(payload, (tuple, list)):
-        return sum(_payload_size(item) for item in payload)
+        return sum(_estimate_size(item) for item in payload)
     if isinstance(payload, dict):
-        return sum(_payload_size(k) + _payload_size(v) for k, v in payload.items())
+        return sum(_estimate_size(k) + _estimate_size(v) for k, v in payload.items())
     return 0
 
 

@@ -44,6 +44,12 @@ class HashCommitmentScheme:
     def __init__(self, domain: bytes = b"repro.morra.commit") -> None:
         self._domain = domain
 
+    @property
+    def domain(self) -> bytes:
+        """The domain-separation label; all committing parties must agree
+        on it (remote provers receive it over the wire)."""
+        return self._domain
+
     def _digest(self, value: int, randomness: bytes) -> bytes:
         payload = encode_length_prefixed(self._domain, int_to_bytes(value), randomness)
         return hashlib.sha512(payload).digest()[:32]

@@ -104,6 +104,10 @@ def run_morra_batch(
     equivocates, opens inconsistently, or goes silent — mirroring the
     "protocol is aborted" clause of Algorithm 1 step 3.
     """
+    # Imported here: repro.core.prover subclasses MorraParticipant, so a
+    # top-level import of repro.core.messages would be circular.
+    from repro.core.messages import MorraCommitMessage, MorraRevealMessage
+
     if len(participants) < 2:
         raise ParameterError("Morra needs at least two participants")
     if count < 1:
@@ -129,7 +133,12 @@ def run_morra_batch(
         comms, rand = participant.commitments(scheme, values)
         state[participant.name] = (values, rand)
         commitments[participant.name] = comms
-        network.broadcast(participant.name, [c.digest for c in comms])
+        network.broadcast(
+            participant.name,
+            MorraCommitMessage(
+                sender=participant.name, digests=tuple(c.digest for c in comms)
+            ),
+        )
 
     # Step 3: reveal in reverse lexicographic order; verify every opening.
     revealed: dict[str, list[int]] = {}
@@ -155,7 +164,10 @@ def run_morra_batch(
                     party=participant.name,
                 )
         revealed[participant.name] = opened_values
-        network.broadcast(participant.name, opened_values)
+        network.broadcast(
+            participant.name,
+            MorraRevealMessage(sender=participant.name, values=tuple(opened_values)),
+        )
 
     # Step 4: combine.
     totals = [

@@ -1,0 +1,50 @@
+"""Transport-agnostic node layer: ΠBin as communicating processes.
+
+The paper's setting is distributed — an analyst, K servers and n clients
+exchanging commitments and Σ-proofs over a network — while the simulator
+runs everything in one process over :class:`repro.mpc.bus.SimulatedNetwork`.
+This package closes that gap without touching the protocol engine:
+
+* :mod:`repro.net.transport` — a three-method :class:`Transport` interface
+  (``send``/``recv``/``close`` over named peers) with in-memory,
+  ``multiprocessing``-pipe and TCP-socket implementations.
+* :mod:`repro.net.wire` — framing for the node protocol (setup specs, RPC
+  envelopes, enrollment bundles) over the typed message registry of
+  :mod:`repro.crypto.serialization`.
+* :mod:`repro.net.nodes` — :class:`AnalystNode` (drives the unchanged
+  :class:`repro.api.engine.ProtocolEngine` against :class:`RemoteProver`
+  proxies), :class:`ServerNode` (hosts one real prover) and
+  :class:`ClientRunner` (submits wire-encoded enrollments).
+* :mod:`repro.net.workers` — a process pool for parallel per-prover and
+  per-chunk coin verification (the streams are embarrassingly parallel).
+* :mod:`repro.net.serve` — the ``python -m repro serve`` demo driver: a
+  full session as separate OS processes, byte-identical to the
+  in-process path under seeded RNG.
+"""
+
+from repro.net.nodes import AnalystNode, ClientRunner, RemoteProver, ServerNode
+from repro.net.serve import run_distributed_session
+from repro.net.transport import (
+    InMemoryHub,
+    InMemoryTransport,
+    MultiprocessTransport,
+    SocketTransport,
+    Transport,
+    multiprocess_star,
+)
+from repro.net.workers import VerificationPool
+
+__all__ = [
+    "Transport",
+    "InMemoryHub",
+    "InMemoryTransport",
+    "MultiprocessTransport",
+    "SocketTransport",
+    "multiprocess_star",
+    "AnalystNode",
+    "ServerNode",
+    "ClientRunner",
+    "RemoteProver",
+    "VerificationPool",
+    "run_distributed_session",
+]

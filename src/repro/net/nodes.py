@@ -1,0 +1,510 @@
+"""Role nodes: ΠBin's parties as processes behind a :class:`Transport`.
+
+The design keeps :class:`repro.api.engine.ProtocolEngine` *unchanged*:
+the analyst front-end constructs the engine exactly as an in-process
+:class:`repro.api.Session` would, but hands it :class:`RemoteProver`
+proxies whose prover-facing methods are RPCs to a :class:`ServerNode`
+hosting the real :class:`repro.core.prover.Prover`.  Because the engine
+drives proxies through the same call sequence, a distributed run under
+seeded RNG produces a release *byte-identical* to the in-process path
+(the equivalence tests in ``tests/net`` assert exactly this).
+
+Topology: a star around the analyst.  Clients send wire-encoded
+enrollment bundles (public broadcast + K private share messages) to the
+front-end, which feeds ``engine.submit_prepared`` and forwards each
+private share to its server inside the share-check RPC.  In a hardened
+deployment the share channel would run client→server directly (the
+front-end is the analyst, who must not learn openings); the routing here
+reproduces the simulator's trust model, not a production key layout —
+see DESIGN.md.
+
+Morra runs through the same proxies: the server samples and commits on
+its own randomness tape (preserving per-party RNG streams), the analyst
+verifier co-samples, and :func:`repro.mpc.morra.run_morra_batch` checks
+every opening as usual.
+"""
+
+from __future__ import annotations
+
+from repro.api.engine import EngineResult, ProtocolEngine, fork_rng
+from repro.api.queries import ComposedQuery, Query
+from repro.core.messages import (
+    ClientBroadcast,
+    ClientShareMessage,
+    CoinCommitmentMessage,
+    ProverOutputMessage,
+    Release,
+)
+from repro.core.params import PublicParams
+from repro.core.plan import AggregationPlan
+from repro.core.prover import Prover
+from repro.crypto.serialization import decode_message, encode_message
+from repro.errors import (
+    EncodingError,
+    NotOnGroupError,
+    ParameterError,
+    ProtocolAbort,
+    ReproError,
+)
+from repro.mpc.commit import HashCommitment, HashCommitmentScheme
+from repro.mpc.morra import MorraParticipant
+from repro.net import wire
+from repro.net.transport import Transport
+from repro.utils.encoding import bytes_to_int, int_to_bytes
+from repro.utils.rng import RNG, SystemRNG
+
+__all__ = ["RemoteProver", "ServerNode", "AnalystNode", "ClientRunner"]
+
+_ANALYST = "analyst"
+_CLIENTS = "clients"
+
+
+class RemoteProver(MorraParticipant):
+    """Engine-facing proxy for a prover living behind a transport.
+
+    Implements every method :class:`~repro.api.engine.ProtocolEngine`
+    (and :func:`~repro.mpc.morra.run_morra_batch`) calls on a prover by
+    round-tripping wire frames to the :class:`ServerNode` of the same
+    name.  Holds no secrets and no randomness of its own.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        transport: Transport,
+        params: PublicParams,
+        *,
+        timeout: float | None = 60.0,
+    ) -> None:
+        super().__init__(name, SystemRNG())
+        self.transport = transport
+        self.params = params
+        self.timeout = timeout
+
+    # RPC plumbing -----------------------------------------------------------
+
+    def _call(self, method: str, *parts: bytes) -> list[bytes]:
+        self.transport.send(self.name, wire.encode_rpc(method, *parts))
+        ok, reply = wire.decode_reply(self.transport.recv(self.name, self.timeout))
+        if not ok:
+            reason = reply[0].decode() if reply else "remote prover aborted"
+            raise ProtocolAbort(reason, party=self.name)
+        return reply
+
+    # Client phase -----------------------------------------------------------
+
+    def receive_client_share(
+        self,
+        broadcast: ClientBroadcast,
+        message: ClientShareMessage,
+        prover_index: int,
+    ) -> bool:
+        reply = self._call(
+            "share-check",
+            encode_message(broadcast),
+            encode_message(message),
+            int_to_bytes(prover_index),
+        )
+        return bool(reply) and reply[0] == b"\x01"
+
+    def absorb_validated_clients(self, valid_ids, *, discard=()) -> None:
+        self._call(
+            "absorb-clients",
+            wire.encode_str_list(valid_ids),
+            wire.encode_str_list(discard),
+        )
+
+    # Coin phase -------------------------------------------------------------
+
+    def commit_coins(self, context: bytes) -> CoinCommitmentMessage:
+        return self._coin_message(self._call("commit-coins", context))
+
+    def begin_coin_stream(self, context: bytes) -> None:
+        self._call("begin-coin-stream", context)
+
+    def commit_coin_chunk(self, count: int) -> CoinCommitmentMessage:
+        return self._coin_message(self._call("commit-coin-chunk", int_to_bytes(count)))
+
+    def absorb_public_bits(self, public_bits) -> None:
+        self._call("absorb-bits", wire.encode_bit_matrix(public_bits))
+
+    def _coin_message(self, reply: list[bytes]) -> CoinCommitmentMessage:
+        message = self._decoded(reply, CoinCommitmentMessage)
+        if message.prover_id != self.name:
+            raise ProtocolAbort(
+                f"server answered for {message.prover_id!r}", party=self.name
+            )
+        return message
+
+    # Output phase -----------------------------------------------------------
+
+    def compute_output(self, valid_ids, public_bits) -> ProverOutputMessage:
+        reply = self._call(
+            "compute-output",
+            wire.encode_str_list(valid_ids),
+            wire.encode_bit_matrix(public_bits),
+        )
+        return self._decoded(reply, ProverOutputMessage)
+
+    def finish_output(self) -> ProverOutputMessage:
+        return self._decoded(self._call("finish-output"), ProverOutputMessage)
+
+    def _decoded(self, reply: list[bytes], expected_type):
+        if not reply:
+            raise ProtocolAbort("empty reply from server", party=self.name)
+        message = decode_message(self.params.group, reply[0])
+        if not isinstance(message, expected_type):
+            raise ProtocolAbort(
+                f"expected {expected_type.__name__} from server", party=self.name
+            )
+        return message
+
+    # Morra (Algorithm 1), proxied --------------------------------------------
+
+    def sample_values(self, q: int, count: int) -> list[int]:
+        reply = self._call("morra-sample", int_to_bytes(q), int_to_bytes(count))
+        values = wire.decode_int_list(reply[0]) if reply else []
+        return values
+
+    def commitments(self, scheme: HashCommitmentScheme, values):
+        reply = self._call("morra-commit", scheme.domain)
+        if not reply:
+            raise ProtocolAbort("malformed morra commit from server", party=self.name)
+        commitments = [HashCommitment(d) for d in wire.decode_bytes_list(reply[0])]
+        if len(commitments) != len(values):
+            raise ProtocolAbort("morra commit count mismatch", party=self.name)
+        # The opening randomness stays on the server until reveal.
+        return commitments, [b""] * len(commitments)
+
+    def reveal(self, values, randomness, observed):
+        reply = self._call("morra-reveal")
+        if len(reply) != 2:
+            raise ProtocolAbort("malformed morra reveal from server", party=self.name)
+        opened_values = wire.decode_int_list(reply[0])
+        opened_randomness = wire.decode_bytes_list(reply[1])
+        return opened_values, opened_randomness
+
+
+class ServerNode:
+    """One prover (curator) process: hosts a real Prover behind RPCs.
+
+    Receives a setup frame (public parameters + aggregation plan), builds
+    its :class:`~repro.core.prover.Prover` on its own randomness tape,
+    then serves analyst RPCs until a shutdown control frame arrives.
+
+    ``prover_factory(name, params, rng, plan)`` lets tests substitute the
+    cheating prover subclasses — the verifier must catch them over the
+    wire exactly as it does in process.
+    """
+
+    def __init__(
+        self,
+        transport: Transport,
+        rng: RNG | None = None,
+        *,
+        analyst: str = _ANALYST,
+        prover_factory=None,
+        timeout: float | None = 60.0,
+    ) -> None:
+        self.transport = transport
+        self.rng = rng if rng is not None else SystemRNG()
+        self.analyst = analyst
+        self.prover_factory = prover_factory if prover_factory is not None else Prover
+        self.timeout = timeout
+        self.prover: Prover | None = None
+        self._morra_values: list[int] = []
+        self._morra_randomness: list[bytes] = []
+
+    def run(self) -> None:
+        """Serve one session: setup, RPC loop, shutdown."""
+        self._setup()
+        try:
+            while True:
+                frame = self.transport.recv(self.analyst, self.timeout)
+                try:
+                    kind = wire.frame_kind(frame)
+                except EncodingError as exc:
+                    self.transport.send(
+                        self.analyst, wire.encode_abort_reply(str(exc))
+                    )
+                    continue
+                if kind == "ctrl":
+                    ctrl, _ = wire.decode_control(frame)
+                    if ctrl == "shutdown":
+                        self.transport.send(self.analyst, wire.encode_reply())
+                        return
+                    self.transport.send(
+                        self.analyst,
+                        wire.encode_abort_reply(f"unexpected control {ctrl!r}"),
+                    )
+                    continue
+                try:
+                    method, parts = wire.decode_rpc(frame)
+                    reply = self._dispatch(method, parts)
+                except (ReproError, ValueError, IndexError, KeyError) as exc:
+                    # Malformed or short frames get an abort reply, never a
+                    # dead server: the analyst attributes and moves on.
+                    reply = wire.encode_abort_reply(f"{type(exc).__name__}: {exc}")
+                self.transport.send(self.analyst, reply)
+        finally:
+            self.transport.close()
+
+    def _setup(self) -> None:
+        frame = self.transport.recv(self.analyst, self.timeout)
+        ctrl, parts = wire.decode_control(frame)
+        if ctrl != "setup" or len(parts) != 3:
+            raise ProtocolAbort("expected a setup frame", party=self.analyst)
+        params = wire.decode_params(parts[0])
+        plan = wire.decode_plan(parts[1])
+        name = parts[2].decode()
+        self.prover = self.prover_factory(name, params, self.rng, plan=plan)
+        self.transport.send(self.analyst, wire.encode_reply())
+
+    # RPC dispatch -----------------------------------------------------------
+
+    def _dispatch(self, method: str, parts: list[bytes]) -> bytes:
+        prover = self.prover
+        group = prover.params.group
+        if method == "share-check":
+            broadcast = decode_message(group, parts[0])
+            share = decode_message(group, parts[1])
+            ok = prover.receive_client_share(broadcast, share, bytes_to_int(parts[2]))
+            return wire.encode_reply(b"\x01" if ok else b"\x00")
+        if method == "absorb-clients":
+            prover.absorb_validated_clients(
+                wire.decode_str_list(parts[0]), discard=wire.decode_str_list(parts[1])
+            )
+            return wire.encode_reply()
+        if method == "commit-coins":
+            return wire.encode_reply(encode_message(prover.commit_coins(parts[0])))
+        if method == "begin-coin-stream":
+            prover.begin_coin_stream(parts[0])
+            return wire.encode_reply()
+        if method == "commit-coin-chunk":
+            message = prover.commit_coin_chunk(bytes_to_int(parts[0]))
+            return wire.encode_reply(encode_message(message))
+        if method == "absorb-bits":
+            prover.absorb_public_bits(wire.decode_bit_matrix(parts[0]))
+            return wire.encode_reply()
+        if method == "compute-output":
+            output = prover.compute_output(
+                wire.decode_str_list(parts[0]), wire.decode_bit_matrix(parts[1])
+            )
+            return wire.encode_reply(encode_message(output))
+        if method == "finish-output":
+            return wire.encode_reply(encode_message(prover.finish_output()))
+        if method == "morra-sample":
+            q, count = bytes_to_int(parts[0]), bytes_to_int(parts[1])
+            self._morra_values = prover.sample_values(q, count)
+            return wire.encode_reply(wire.encode_int_list(self._morra_values))
+        if method == "morra-commit":
+            scheme = HashCommitmentScheme(parts[0])
+            commitments, randomness = prover.commitments(scheme, self._morra_values)
+            self._morra_randomness = randomness
+            return wire.encode_reply(
+                wire.encode_bytes_list([c.digest for c in commitments])
+            )
+        if method == "morra-reveal":
+            response = prover.reveal(
+                self._morra_values, self._morra_randomness, {}
+            )
+            if response is None:
+                return wire.encode_abort_reply("prover went silent during reveal")
+            values, randomness = response
+            return wire.encode_reply(
+                wire.encode_int_list(values), wire.encode_bytes_list(randomness)
+            )
+        return wire.encode_abort_reply(f"unknown rpc method {method!r}")
+
+
+class AnalystNode:
+    """The serving front-end: verifier plus the unchanged protocol engine.
+
+    Builds parameters from a declarative query exactly as
+    :class:`repro.api.Session` does, ships setup frames to the servers
+    and a parameter announcement to the client peer, ingests wire-encoded
+    enrollments through ``engine.submit_prepared``, then drives the phase
+    machine to a release and publishes it back to the clients.
+    """
+
+    def __init__(
+        self,
+        query: Query,
+        transport: Transport,
+        servers: list[str],
+        *,
+        group: str = "modp-2048",
+        nb_override: int | None = None,
+        chunk_size: int | None = None,
+        rng: RNG | None = None,
+        clients_peer: str = _CLIENTS,
+        timeout: float | None = 60.0,
+    ) -> None:
+        if isinstance(query, ComposedQuery):
+            raise ParameterError("composed queries are not served distributed yet")
+        if not servers:
+            raise ParameterError("need at least one server (K >= 1)")
+        self.query = query
+        self.transport = transport
+        self.servers = list(servers)
+        self.clients_peer = clients_peer
+        self.timeout = timeout
+        self.rng = rng if rng is not None else SystemRNG()
+        self.params = query.build_params(
+            num_provers=len(servers), group=group, nb_override=nb_override
+        )
+        self.plan = query.build_plan()
+        self.engine = ProtocolEngine(
+            self.params,
+            plan=self.plan,
+            provers=[
+                RemoteProver(name, transport, self.params, timeout=timeout)
+                for name in self.servers
+            ],
+            rng=self.rng,
+            chunk_size=chunk_size,
+        )
+        self.result: EngineResult | None = None
+
+    def run(self) -> EngineResult:
+        """Serve one full session and return the engine result."""
+        params_frame = wire.encode_params(self.params)
+        plan_frame = wire.encode_plan(self.plan)
+        for name in self.servers:
+            self.transport.send(
+                name,
+                wire.encode_control("setup", params_frame, plan_frame, name.encode()),
+            )
+            ok, reply = wire.decode_reply(self.transport.recv(name, self.timeout))
+            if not ok:
+                reason = reply[0].decode() if reply else "setup rejected"
+                raise ProtocolAbort(f"server setup failed: {reason}", party=name)
+        self.transport.send(
+            self.clients_peer, wire.encode_control("params", params_frame, plan_frame)
+        )
+        self._ingest()
+        self.result = self.engine.run_release()
+        self.transport.send(
+            self.clients_peer,
+            wire.encode_control("release", encode_message(self.result.release)),
+        )
+        self._shutdown_servers()
+        return self.result
+
+    def _ingest(self) -> None:
+        """Accept enrollment bundles until the finalize control arrives.
+
+        A frame that fails to decode — truncated, bit-flipped into a
+        non-element, wrong shape — drops exactly that enrollment (with an
+        audit note), never the session: a hostile client cannot crash the
+        front-end.
+        """
+        group = self.params.group
+        while True:
+            frame = self.transport.recv(self.clients_peer, self.timeout)
+            try:
+                kind = wire.frame_kind(frame)
+            except EncodingError:
+                self.engine.verifier.audit.note("dropped an unclassifiable frame")
+                continue
+            if kind == "ctrl":
+                try:
+                    ctrl, _ = wire.decode_control(frame)
+                except EncodingError:
+                    self.engine.verifier.audit.note("dropped a malformed control frame")
+                    continue
+                if ctrl == "finalize":
+                    return
+                raise ProtocolAbort(
+                    f"unexpected control {ctrl!r} during enrollment",
+                    party=self.clients_peer,
+                )
+            if kind != "enroll":
+                raise ProtocolAbort(
+                    f"unexpected {kind!r} frame during enrollment",
+                    party=self.clients_peer,
+                )
+            try:
+                broadcast, privates = wire.decode_enrollment(group, frame)
+            except (EncodingError, NotOnGroupError, ValueError) as exc:
+                self.engine.verifier.audit.note(f"dropped undecodable enrollment: {exc}")
+                continue
+            try:
+                self.engine.submit_prepared([(broadcast, privates)])
+            except ParameterError as exc:
+                # Duplicate/reserved client id, wrong share count, … — a
+                # hostile enrollment is dropped, never the session.
+                self.engine.verifier.audit.note(
+                    f"rejected enrollment from {broadcast.client_id!r}: {exc}"
+                )
+
+    def _shutdown_servers(self) -> None:
+        for name in self.servers:
+            try:
+                self.transport.send(name, wire.encode_control("shutdown"))
+                self.transport.recv(name, self.timeout)
+            except ReproError:  # pragma: no cover - a dead server is fine now
+                pass
+
+    @property
+    def release(self) -> Release:
+        if self.result is None:
+            raise ParameterError("session has not released yet")
+        return self.result.release
+
+
+class ClientRunner:
+    """Drives a population of clients against a serving front-end.
+
+    Receives the parameter announcement, builds each client with the same
+    name and forked randomness stream the in-process session would
+    (``client-{i}``, fork of the shared root), wire-encodes its Line 2
+    submission and ships it, then waits for the published release.
+    """
+
+    def __init__(
+        self,
+        transport: Transport,
+        query: Query,
+        values,
+        *,
+        rng: RNG | None = None,
+        analyst: str = _ANALYST,
+        timeout: float | None = 60.0,
+        tamper=None,
+    ) -> None:
+        self.transport = transport
+        self.query = query
+        self.values = list(values)
+        self.rng = rng if rng is not None else SystemRNG()
+        self.analyst = analyst
+        self.timeout = timeout
+        self.tamper = tamper
+        self.release: Release | None = None
+
+    def run(self) -> Release:
+        ctrl, parts = wire.decode_control(self.transport.recv(self.analyst, self.timeout))
+        if ctrl != "params" or not parts:
+            raise ProtocolAbort("expected a params announcement", party=self.analyst)
+        params = wire.decode_params(parts[0])
+        for index, value in enumerate(self.values):
+            name = f"client-{index}"
+            client = (
+                value
+                if hasattr(value, "submit")
+                else self.query.make_client(name, value, fork_rng(self.rng, name))
+            )
+            broadcast, privates = client.submit(params)
+            frame = wire.encode_enrollment(broadcast, privates)
+            if self.tamper is not None:
+                frame = self.tamper(index, frame)
+            self.transport.send(self.analyst, frame)
+        self.transport.send(self.analyst, wire.encode_control("finalize"))
+        ctrl, parts = wire.decode_control(self.transport.recv(self.analyst, self.timeout))
+        if ctrl != "release" or not parts:
+            raise ProtocolAbort("expected the release", party=self.analyst)
+        release = decode_message(params.group, parts[0])
+        if not isinstance(release, Release):
+            raise EncodingError("release frame carried a different message")
+        self.release = release
+        return release

@@ -1,0 +1,297 @@
+"""The multi-process serving demo behind ``python -m repro serve``.
+
+Runs one full verifiable-DP session as real communicating nodes — the
+analyst front-end in the calling process/thread, one
+:class:`~repro.net.nodes.ServerNode` per prover and one
+:class:`~repro.net.nodes.ClientRunner` for the population — over any of
+the three transports:
+
+* ``memory``      — node threads over :class:`InMemoryTransport`,
+* ``multiprocess``— separate OS processes over ``multiprocessing`` pipes,
+* ``socket``      — separate OS processes over localhost TCP.
+
+With a seed, the distributed release is compared byte-for-byte against
+the in-process :class:`repro.api.Session` release — the equivalence the
+redesign promises (same engine, same RNG streams, different substrate).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from multiprocessing import get_context
+
+from repro.api.queries import CountQuery, HistogramQuery, Query
+from repro.api.session import Session
+from repro.crypto.serialization import encode_message
+from repro.errors import ParameterError
+from repro.net.nodes import AnalystNode, ClientRunner, ServerNode
+from repro.net.transport import InMemoryHub, SocketTransport, multiprocess_star
+from repro.utils.rng import RNG, SeededRNG, SystemRNG
+
+__all__ = ["run_distributed_session", "main"]
+
+_TRANSPORTS = ("memory", "multiprocess", "socket")
+
+
+def _root_rng(seed: str | None) -> RNG:
+    return SeededRNG(seed) if seed is not None else SystemRNG()
+
+
+def _server_rng(seed: str | None, name: str) -> RNG:
+    # Matches the in-process engine: prover k draws from root.fork(name).
+    return SeededRNG(seed).fork(name) if seed is not None else SystemRNG()
+
+
+def _server_main_pipes(
+    transport, seed: str | None, name: str, timeout: float = 60.0
+) -> None:
+    ServerNode(transport, _server_rng(seed, name), timeout=timeout).run()
+
+
+def _clients_main_pipes(
+    transport, query: Query, values, seed: str | None, timeout: float = 60.0
+) -> None:
+    ClientRunner(transport, query, values, rng=_root_rng(seed), timeout=timeout).run()
+
+
+def _server_main_socket(
+    name: str, host: str, port: int, seed: str | None, timeout: float = 60.0
+) -> None:
+    transport = SocketTransport.connect(name, "analyst", host, port)
+    ServerNode(transport, _server_rng(seed, name), timeout=timeout).run()
+
+
+def _clients_main_socket(
+    host: str, port: int, query: Query, values, seed: str | None, timeout: float = 60.0
+) -> None:
+    transport = SocketTransport.connect("clients", "analyst", host, port)
+    ClientRunner(transport, query, values, rng=_root_rng(seed), timeout=timeout).run()
+
+
+def run_distributed_session(
+    query: Query,
+    values,
+    *,
+    transport: str = "multiprocess",
+    num_servers: int = 2,
+    group: str = "p64-sim",
+    nb_override: int | None = 64,
+    chunk_size: int | None = None,
+    seed: str | None = "serve",
+    host: str = "127.0.0.1",
+    port: int = 0,
+    timeout: float = 120.0,
+    verify_equivalence: bool | None = None,
+) -> dict:
+    """Run one session as separate nodes; returns a result/metrics dict.
+
+    ``verify_equivalence`` (default: on whenever seeded) replays the same
+    query through the in-process :class:`Session` with the same seed and
+    compares the wire-encoded releases byte for byte.
+    """
+    if transport not in _TRANSPORTS:
+        raise ParameterError(f"transport must be one of {_TRANSPORTS}")
+    values = list(values)
+    server_names = [f"prover-{k}" for k in range(num_servers)]
+    if verify_equivalence is None:
+        verify_equivalence = seed is not None
+
+    start = time.perf_counter()
+    if transport == "memory":
+        analyst_transport, cleanup = _start_memory(query, values, server_names, seed, timeout)
+    elif transport == "multiprocess":
+        analyst_transport, cleanup = _start_multiprocess(
+            query, values, server_names, seed, timeout
+        )
+    else:
+        analyst_transport, cleanup = _start_socket(
+            query, values, server_names, seed, host, port, timeout
+        )
+
+    try:
+        analyst = AnalystNode(
+            query,
+            analyst_transport,
+            server_names,
+            group=group,
+            nb_override=nb_override,
+            chunk_size=chunk_size,
+            rng=_root_rng(seed),
+            timeout=timeout,
+        )
+        result = analyst.run()
+    finally:
+        cleanup()
+        analyst_transport.close()
+    elapsed = time.perf_counter() - start
+
+    release_bytes = encode_message(result.release)
+    outcome = {
+        "transport": transport,
+        "num_servers": num_servers,
+        "n_clients": len(values),
+        "nb": analyst.params.nb,
+        "group": group,
+        "chunk_size": chunk_size,
+        "accepted": result.release.accepted,
+        "estimate": result.release.estimate,
+        "elapsed_s": elapsed,
+        "frontend_bytes_sent": analyst_transport.bytes_sent,
+        "frontend_bytes_received": analyst_transport.bytes_received,
+        "frontend_frames": analyst_transport.frames_sent
+        + analyst_transport.frames_received,
+        "release_bytes": len(release_bytes),
+        "release": result.release,
+    }
+
+    if verify_equivalence:
+        session = Session(
+            query,
+            num_provers=num_servers,
+            group=group,
+            nb_override=nb_override,
+            chunk_size=chunk_size,
+            rng=_root_rng(seed),
+        )
+        session.submit(values)
+        in_process = session.release().release
+        outcome["byte_identical"] = encode_message(in_process) == release_bytes
+    return outcome
+
+
+# Per-transport node launchers -------------------------------------------------
+
+
+def _start_memory(query, values, server_names, seed, timeout):
+    hub = InMemoryHub()
+    analyst_transport = hub.endpoint("analyst")
+    threads = []
+    for name in server_names:
+        node = ServerNode(hub.endpoint(name), _server_rng(seed, name), timeout=timeout)
+        threads.append(threading.Thread(target=node.run, name=name, daemon=True))
+    runner = ClientRunner(
+        hub.endpoint("clients"), query, values, rng=_root_rng(seed), timeout=timeout
+    )
+    threads.append(threading.Thread(target=runner.run, name="clients", daemon=True))
+    for thread in threads:
+        thread.start()
+
+    def cleanup():
+        for thread in threads:
+            thread.join(timeout=10.0)
+
+    return analyst_transport, cleanup
+
+
+def _start_multiprocess(query, values, server_names, seed, timeout):
+    context = get_context("fork")
+    analyst_transport, peer_transports = multiprocess_star(
+        "analyst", server_names + ["clients"]
+    )
+    processes = [
+        context.Process(
+            target=_server_main_pipes,
+            args=(peer_transports[name], seed, name, timeout),
+            daemon=True,
+        )
+        for name in server_names
+    ]
+    processes.append(
+        context.Process(
+            target=_clients_main_pipes,
+            args=(peer_transports["clients"], query, values, seed, timeout),
+            daemon=True,
+        )
+    )
+    for process in processes:
+        process.start()
+    # The child ends of the pipes belong to the children now.
+    for peer_transport in peer_transports.values():
+        peer_transport.close()
+
+    def cleanup():
+        for process in processes:
+            process.join(timeout=30.0)
+            if process.is_alive():  # pragma: no cover - hung child
+                process.terminate()
+
+    return analyst_transport, cleanup
+
+
+def _start_socket(query, values, server_names, seed, host, port, timeout):
+    context = get_context("fork")
+    analyst_transport = SocketTransport.listen("analyst", host, port)
+    bound_port = analyst_transport.port
+    processes = [
+        context.Process(
+            target=_server_main_socket,
+            args=(name, host, bound_port, seed, timeout),
+            daemon=True,
+        )
+        for name in server_names
+    ]
+    processes.append(
+        context.Process(
+            target=_clients_main_socket,
+            args=(host, bound_port, query, values, seed, timeout),
+            daemon=True,
+        )
+    )
+    for process in processes:
+        process.start()
+    analyst_transport.accept(len(processes), timeout)
+
+    def cleanup():
+        for process in processes:
+            process.join(timeout=30.0)
+            if process.is_alive():  # pragma: no cover - hung child
+                process.terminate()
+
+    return analyst_transport, cleanup
+
+
+# CLI entry --------------------------------------------------------------------
+
+
+def main(args) -> int:
+    """Drive the demo from parsed CLI arguments (see ``repro.cli``)."""
+    if args.bins > 1:
+        query: Query = HistogramQuery(bins=args.bins, epsilon=1.0, delta=2**-10)
+        values = [i % args.bins for i in range(args.clients)]
+    else:
+        query = CountQuery(epsilon=1.0, delta=2**-10)
+        values = [i % 2 for i in range(args.clients)]
+    outcome = run_distributed_session(
+        query,
+        values,
+        transport=args.transport,
+        num_servers=args.servers,
+        group=args.group,
+        nb_override=args.nb,
+        chunk_size=args.chunk,
+        seed=args.seed,
+        host=args.host,
+        port=args.port,
+        timeout=args.timeout,
+    )
+    print(
+        f"== distributed session ({outcome['transport']}, "
+        f"K={outcome['num_servers']}, n={outcome['n_clients']}, "
+        f"nb={outcome['nb']}, {outcome['group']}) =="
+    )
+    print(f"accepted:          {outcome['accepted']}")
+    print(f"estimate:          {tuple(round(v, 2) for v in outcome['estimate'])}")
+    print(f"elapsed:           {outcome['elapsed_s']:.2f}s")
+    print(
+        "front-end traffic: "
+        f"{outcome['frontend_bytes_sent']} B out, "
+        f"{outcome['frontend_bytes_received']} B in, "
+        f"{outcome['frontend_frames']} frames"
+    )
+    print(f"release frame:     {outcome['release_bytes']} B")
+    if "byte_identical" in outcome:
+        print(f"byte-identical to in-process Session: {outcome['byte_identical']}")
+        if not outcome["byte_identical"]:
+            return 1
+    return 0 if outcome["accepted"] else 1

@@ -1,0 +1,308 @@
+"""Transports: named-peer frame channels with exact byte accounting.
+
+A :class:`Transport` is one node's view of the network: it can ``send``
+an opaque frame (bytes) to a named peer and block on ``recv`` from a
+named peer.  The node protocol is synchronous and star-shaped (servers
+and clients talk to the analyst front-end), so three methods suffice and
+every implementation stays small:
+
+* :class:`InMemoryTransport` — an adapter over
+  :class:`repro.mpc.bus.SimulatedNetwork`, so in-memory node runs reuse
+  the simulator's ordered channels and its (now exact, frames are bytes)
+  traffic accounting.  Thread-safe: nodes may run on threads.
+* :class:`MultiprocessTransport` — ``multiprocessing`` duplex pipes;
+  :func:`multiprocess_star` builds the analyst-centred topology.
+* :class:`SocketTransport` — TCP with 4-byte big-endian length-prefixed
+  frames and a one-frame name handshake.
+
+All transports count frames and bytes both ways; a missing peer or a
+timeout raises :class:`~repro.errors.ProtocolAbort` naming the silent
+party, exactly as the simulator's ``receive`` does.
+"""
+
+from __future__ import annotations
+
+import abc
+import socket
+import struct
+import threading
+from multiprocessing import Pipe
+from multiprocessing.connection import Connection
+
+from repro.errors import ParameterError, ProtocolAbort
+from repro.mpc.bus import SimulatedNetwork
+
+__all__ = [
+    "Transport",
+    "InMemoryHub",
+    "InMemoryTransport",
+    "MultiprocessTransport",
+    "SocketTransport",
+    "multiprocess_star",
+]
+
+_LEN = struct.Struct(">I")
+
+
+class Transport(abc.ABC):
+    """One node's frame channels to its named peers."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.frames_sent = 0
+        self.frames_received = 0
+
+    @abc.abstractmethod
+    def _send(self, peer: str, frame: bytes) -> None: ...
+
+    @abc.abstractmethod
+    def _recv(self, peer: str, timeout: float | None) -> bytes: ...
+
+    def send(self, peer: str, frame: bytes) -> None:
+        """Deliver ``frame`` to ``peer`` (ordered per peer pair)."""
+        if not isinstance(frame, (bytes, bytearray)):
+            raise ParameterError("transports carry bytes frames only")
+        self._send(peer, bytes(frame))
+        self.bytes_sent += len(frame)
+        self.frames_sent += 1
+
+    def recv(self, peer: str, timeout: float | None = None) -> bytes:
+        """Block until the next frame from ``peer`` arrives.
+
+        Raises :class:`ProtocolAbort` (party=peer) on timeout or a closed
+        channel — in a synchronous protocol a missing message is an abort.
+        """
+        frame = self._recv(peer, timeout)
+        self.bytes_received += len(frame)
+        self.frames_received += 1
+        return frame
+
+    def close(self) -> None:  # pragma: no cover - default no-op
+        pass
+
+
+# In-memory -------------------------------------------------------------------
+
+
+class InMemoryHub:
+    """Shared substrate for in-memory transports (one per simulated host).
+
+    Wraps a :class:`SimulatedNetwork` — frames land in its ordered queues
+    and its per-sender byte accounting, which is exact here because every
+    payload is already encoded bytes — plus a condition variable so node
+    threads can block on ``recv``.
+    """
+
+    def __init__(self, network: SimulatedNetwork | None = None) -> None:
+        self.network = network if network is not None else SimulatedNetwork()
+        self.condition = threading.Condition()
+
+    def endpoint(self, name: str) -> "InMemoryTransport":
+        with self.condition:
+            if name not in self.network.parties:
+                self.network.register(name)
+        return InMemoryTransport(name, self)
+
+
+class InMemoryTransport(Transport):
+    """Adapter presenting one :class:`InMemoryHub` party as a transport."""
+
+    def __init__(self, name: str, hub: InMemoryHub) -> None:
+        super().__init__(name)
+        self.hub = hub
+
+    def _send(self, peer: str, frame: bytes) -> None:
+        with self.hub.condition:
+            self.hub.network.send(self.name, peer, frame)
+            self.hub.condition.notify_all()
+
+    def _recv(self, peer: str, timeout: float | None) -> bytes:
+        with self.hub.condition:
+            while True:
+                frame = self.hub.network.try_receive(self.name, peer)
+                if frame is not None:
+                    return frame
+                if not self.hub.condition.wait(timeout):
+                    raise ProtocolAbort(
+                        f"{self.name!r} timed out waiting for {peer!r}", party=peer
+                    )
+
+
+# Multiprocessing pipes -------------------------------------------------------
+
+
+class MultiprocessTransport(Transport):
+    """Duplex ``multiprocessing`` pipes, one per peer.
+
+    Construct via :func:`multiprocess_star`; the per-peer
+    :class:`~multiprocessing.connection.Connection` objects are inherited
+    by forked worker processes.
+    """
+
+    def __init__(self, name: str, connections: dict[str, Connection]) -> None:
+        super().__init__(name)
+        self._connections = dict(connections)
+
+    def _connection(self, peer: str) -> Connection:
+        conn = self._connections.get(peer)
+        if conn is None:
+            raise ParameterError(f"{self.name!r} has no channel to {peer!r}")
+        return conn
+
+    def _send(self, peer: str, frame: bytes) -> None:
+        self._connection(peer).send_bytes(frame)
+
+    def _recv(self, peer: str, timeout: float | None) -> bytes:
+        conn = self._connection(peer)
+        try:
+            if timeout is not None and not conn.poll(timeout):
+                raise ProtocolAbort(
+                    f"{self.name!r} timed out waiting for {peer!r}", party=peer
+                )
+            return conn.recv_bytes()
+        except (EOFError, OSError) as exc:
+            raise ProtocolAbort(
+                f"channel to {peer!r} closed: {exc}", party=peer
+            ) from exc
+
+    def close(self) -> None:
+        for conn in self._connections.values():
+            conn.close()
+
+
+def multiprocess_star(
+    center: str, peers: list[str]
+) -> tuple[MultiprocessTransport, dict[str, MultiprocessTransport]]:
+    """Pipes for the serving topology: every peer talks to ``center``.
+
+    Returns the center's transport plus one single-channel transport per
+    peer; create before forking so both ends inherit their connections.
+    """
+    if len(set(peers)) != len(peers) or center in peers:
+        raise ParameterError("star peers must be unique and distinct from center")
+    center_conns: dict[str, Connection] = {}
+    peer_transports: dict[str, MultiprocessTransport] = {}
+    for peer in peers:
+        center_end, peer_end = Pipe(duplex=True)
+        center_conns[peer] = center_end
+        peer_transports[peer] = MultiprocessTransport(peer, {center: peer_end})
+    return MultiprocessTransport(center, center_conns), peer_transports
+
+
+# TCP sockets -----------------------------------------------------------------
+
+
+class SocketTransport(Transport):
+    """TCP frame channels: 4-byte big-endian length prefix per frame.
+
+    The listening side (the analyst front-end) calls :meth:`listen` then
+    :meth:`accept`; connecting sides call :meth:`connect`, which sends a
+    one-frame handshake carrying the connector's name so the listener can
+    map sockets to peers.
+    """
+
+    def __init__(self, name: str) -> None:
+        super().__init__(name)
+        self._sockets: dict[str, socket.socket] = {}
+        self._listener: socket.socket | None = None
+        self.port: int | None = None
+
+    # Construction -----------------------------------------------------------
+
+    @classmethod
+    def listen(
+        cls, name: str, host: str = "127.0.0.1", port: int = 0, *, backlog: int = 16
+    ) -> "SocketTransport":
+        transport = cls(name)
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((host, port))
+        listener.listen(backlog)
+        transport._listener = listener
+        transport.port = listener.getsockname()[1]
+        return transport
+
+    def accept(self, count: int, timeout: float | None = 30.0) -> list[str]:
+        """Accept ``count`` handshaking peers; returns their names."""
+        if self._listener is None:
+            raise ParameterError("accept requires a listening transport")
+        self._listener.settimeout(timeout)
+        names = []
+        for _ in range(count):
+            try:
+                sock, _ = self._listener.accept()
+            except TimeoutError as exc:  # socket.timeout is an alias
+                raise ProtocolAbort("timed out accepting peers") from exc
+            peer = _read_frame(sock, timeout, party="connecting peer").decode()
+            if peer in self._sockets:
+                sock.close()
+                raise ProtocolAbort(f"duplicate peer {peer!r}", party=peer)
+            self._sockets[peer] = sock
+            names.append(peer)
+        return names
+
+    @classmethod
+    def connect(
+        cls,
+        name: str,
+        peer: str,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        timeout: float | None = 30.0,
+    ) -> "SocketTransport":
+        transport = cls(name)
+        sock = socket.create_connection((host, port), timeout=timeout)
+        _write_frame(sock, name.encode())
+        transport._sockets[peer] = sock
+        return transport
+
+    # Frame IO ---------------------------------------------------------------
+
+    def _socket(self, peer: str) -> socket.socket:
+        sock = self._sockets.get(peer)
+        if sock is None:
+            raise ParameterError(f"{self.name!r} has no socket to {peer!r}")
+        return sock
+
+    def _send(self, peer: str, frame: bytes) -> None:
+        _write_frame(self._socket(peer), frame)
+
+    def _recv(self, peer: str, timeout: float | None) -> bytes:
+        return _read_frame(self._socket(peer), timeout, party=peer)
+
+    def close(self) -> None:
+        for sock in self._sockets.values():
+            try:
+                sock.close()
+            except OSError:  # pragma: no cover - close is best effort
+                pass
+        if self._listener is not None:
+            self._listener.close()
+
+
+def _write_frame(sock: socket.socket, frame: bytes) -> None:
+    sock.sendall(_LEN.pack(len(frame)) + frame)
+
+
+def _read_frame(sock: socket.socket, timeout: float | None, *, party: str) -> bytes:
+    sock.settimeout(timeout)
+    try:
+        header = _read_exact(sock, _LEN.size, party)
+        return _read_exact(sock, _LEN.unpack(header)[0], party)
+    except TimeoutError as exc:
+        raise ProtocolAbort(f"timed out waiting for {party!r}", party=party) from exc
+    except OSError as exc:
+        raise ProtocolAbort(f"socket to {party!r} failed: {exc}", party=party) from exc
+
+
+def _read_exact(sock: socket.socket, n: int, party: str) -> bytes:
+    buffer = bytearray()
+    while len(buffer) < n:
+        chunk = sock.recv(n - len(buffer))
+        if not chunk:
+            raise ProtocolAbort(f"{party!r} closed the connection", party=party)
+        buffer += chunk
+    return bytes(buffer)

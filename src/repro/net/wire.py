@@ -1,0 +1,293 @@
+"""Node-protocol framing over the typed message registry.
+
+:mod:`repro.crypto.serialization` turns individual protocol messages into
+tagged frames; this module adds the small amount of structure the role
+nodes need on top of that:
+
+* **setup specs** — public parameters and aggregation plans as bytes, so
+  an analyst can ship ``pp`` to servers and clients and every process
+  reconstructs an identical (same fingerprint) parameter set,
+* **enrollment bundles** — one frame carrying a client's public broadcast
+  plus its K private share messages, the unit the serving front-end
+  ingests via ``Session.submit_prepared``,
+* **RPC envelopes** — method-tagged request/reply frames the
+  :class:`~repro.net.nodes.RemoteProver` proxy speaks to a
+  :class:`~repro.net.nodes.ServerNode`,
+* **control frames** — setup / finalize / release / shutdown signals,
+* small list/matrix helpers (client-id lists, public-bit matrices).
+
+Everything is length-prefixed and magic-tagged; malformed input raises
+:class:`~repro.errors.EncodingError`, never a crash.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.core.params import PublicParams, _resolve_group
+from repro.crypto.serialization import _decode_str
+from repro.core.plan import AggregationPlan
+from repro.crypto.pedersen import PedersenParams
+from repro.errors import EncodingError
+from repro.utils.encoding import (
+    bytes_to_int,
+    decode_length_prefixed,
+    encode_length_prefixed,
+    int_to_bytes,
+)
+
+__all__ = [
+    "encode_params",
+    "decode_params",
+    "encode_plan",
+    "decode_plan",
+    "encode_enrollment",
+    "decode_enrollment",
+    "encode_control",
+    "decode_control",
+    "encode_rpc",
+    "decode_rpc",
+    "encode_reply",
+    "encode_abort_reply",
+    "decode_reply",
+    "encode_str_list",
+    "decode_str_list",
+    "encode_bytes_list",
+    "decode_bytes_list",
+    "encode_int_list",
+    "decode_int_list",
+    "encode_bit_matrix",
+    "decode_bit_matrix",
+    "frame_kind",
+]
+
+_MAGIC_PARAMS = b"repro.net.params.v1"
+_MAGIC_PLAN = b"repro.net.plan.v1"
+_MAGIC_ENROLL = b"repro.net.enroll.v1"
+_MAGIC_CTRL = b"repro.net.ctrl.v1"
+_MAGIC_RPC = b"repro.net.rpc.v1"
+_MAGIC_REPLY = b"repro.net.reply.v1"
+
+_REPLY_OK = b"ok"
+_REPLY_ABORT = b"abort"
+
+
+def _parts(data: bytes, magic: bytes, what: str) -> list[bytes]:
+    parts = decode_length_prefixed(data)
+    if not parts or parts[0] != magic:
+        raise EncodingError(f"bad or missing {what} magic")
+    return parts[1:]
+
+
+def frame_kind(data: bytes) -> str:
+    """Classify a frame by its leading magic ('enroll', 'ctrl', ...)."""
+    parts = decode_length_prefixed(data)
+    kinds = {
+        _MAGIC_ENROLL: "enroll",
+        _MAGIC_CTRL: "ctrl",
+        _MAGIC_RPC: "rpc",
+        _MAGIC_REPLY: "reply",
+        _MAGIC_PARAMS: "params",
+        _MAGIC_PLAN: "plan",
+    }
+    if not parts or parts[0] not in kinds:
+        raise EncodingError("unknown frame kind")
+    return kinds[parts[0]]
+
+
+# Parameter and plan specs -----------------------------------------------------
+
+
+def encode_params(params: PublicParams) -> bytes:
+    """Public parameters as bytes; decoding reproduces the fingerprint.
+
+    Only *named* groups travel (the name is the agreement; both sides
+    re-derive generators locally), and ε/δ go as exact IEEE doubles so the
+    reconstructed fingerprint — bound into every transcript — matches.
+    """
+    return encode_length_prefixed(
+        _MAGIC_PARAMS,
+        params.group.name.encode(),
+        struct.pack(">d", params.epsilon),
+        struct.pack(">d", params.delta),
+        int_to_bytes(params.nb),
+        int_to_bytes(params.num_provers),
+        int_to_bytes(params.dimension),
+    )
+
+
+def decode_params(data: bytes) -> PublicParams:
+    parts = _parts(data, _MAGIC_PARAMS, "params")
+    if len(parts) != 6:
+        raise EncodingError("params spec needs 6 fields")
+    if len(parts[1]) != 8 or len(parts[2]) != 8:
+        raise EncodingError("params epsilon/delta must be 8-byte doubles")
+    try:
+        group = _resolve_group(_decode_str(parts[0], "group name"))
+    except Exception as exc:
+        raise EncodingError(f"unknown group {parts[0]!r}: {exc}") from exc
+    return PublicParams(
+        pedersen=PedersenParams(group),
+        epsilon=struct.unpack(">d", parts[1])[0],
+        delta=struct.unpack(">d", parts[2])[0],
+        nb=bytes_to_int(parts[3]),
+        num_provers=bytes_to_int(parts[4]),
+        dimension=bytes_to_int(parts[5]),
+    )
+
+
+def encode_plan(plan: AggregationPlan) -> bytes:
+    return encode_length_prefixed(
+        _MAGIC_PLAN,
+        plan.validity.encode(),
+        int_to_bytes(plan.lanes),
+        int_to_bytes(plan.dimension),
+        *[encode_int_list(row) for row in plan.lane_weights],
+        encode_int_list(plan.noise_weights),
+    )
+
+
+def decode_plan(data: bytes) -> AggregationPlan:
+    parts = _parts(data, _MAGIC_PLAN, "plan")
+    if len(parts) < 4:
+        raise EncodingError("plan spec needs validity, shape and weights")
+    lanes = bytes_to_int(parts[1])
+    dimension = bytes_to_int(parts[2])
+    if len(parts) != 3 + lanes + 1:
+        raise EncodingError(f"plan spec has {len(parts)} fields, expected {4 + lanes}")
+    lane_weights = tuple(tuple(decode_int_list(raw)) for raw in parts[3:-1])
+    if any(len(row) != dimension for row in lane_weights):
+        raise EncodingError("plan lane weights do not match the declared dimension")
+    return AggregationPlan(
+        lane_weights=lane_weights,
+        noise_weights=tuple(decode_int_list(parts[-1])),
+        validity=_decode_str(parts[0], "plan validity"),
+    )
+
+
+# Enrollment bundles -----------------------------------------------------------
+
+
+def encode_enrollment(broadcast, privates) -> bytes:
+    """One client's Line 2 submission: broadcast + K private shares."""
+    from repro.crypto.serialization import encode_message
+
+    return encode_length_prefixed(
+        _MAGIC_ENROLL,
+        encode_message(broadcast),
+        *[encode_message(message) for message in privates],
+    )
+
+
+def decode_enrollment(group, data: bytes):
+    from repro.core.messages import ClientBroadcast, ClientShareMessage
+    from repro.crypto.serialization import decode_message
+
+    parts = _parts(data, _MAGIC_ENROLL, "enrollment")
+    if len(parts) < 2:
+        raise EncodingError("enrollment needs a broadcast and >= 1 share message")
+    broadcast = decode_message(group, parts[0])
+    privates = [decode_message(group, raw) for raw in parts[1:]]
+    if not isinstance(broadcast, ClientBroadcast) or not all(
+        isinstance(m, ClientShareMessage) for m in privates
+    ):
+        raise EncodingError("enrollment bundle has wrong message types")
+    return broadcast, privates
+
+
+# Control and RPC envelopes ----------------------------------------------------
+
+
+def encode_control(kind: str, *parts: bytes) -> bytes:
+    return encode_length_prefixed(_MAGIC_CTRL, kind.encode(), *parts)
+
+
+def decode_control(data: bytes) -> tuple[str, list[bytes]]:
+    parts = _parts(data, _MAGIC_CTRL, "control")
+    if not parts:
+        raise EncodingError("control frame needs a kind")
+    return _decode_str(parts[0], "control kind"), parts[1:]
+
+
+def encode_rpc(method: str, *parts: bytes) -> bytes:
+    return encode_length_prefixed(_MAGIC_RPC, method.encode(), *parts)
+
+
+def decode_rpc(data: bytes) -> tuple[str, list[bytes]]:
+    parts = _parts(data, _MAGIC_RPC, "rpc")
+    if not parts:
+        raise EncodingError("rpc frame needs a method")
+    return _decode_str(parts[0], "rpc method"), parts[1:]
+
+
+def encode_reply(*parts: bytes) -> bytes:
+    return encode_length_prefixed(_MAGIC_REPLY, _REPLY_OK, *parts)
+
+
+def encode_abort_reply(message: str) -> bytes:
+    return encode_length_prefixed(_MAGIC_REPLY, _REPLY_ABORT, message.encode())
+
+
+def decode_reply(data: bytes) -> tuple[bool, list[bytes]]:
+    """Returns (ok, parts); an abort reply carries [reason]."""
+    parts = _parts(data, _MAGIC_REPLY, "reply")
+    if not parts or parts[0] not in (_REPLY_OK, _REPLY_ABORT):
+        raise EncodingError("reply frame needs an ok/abort status")
+    return parts[0] == _REPLY_OK, parts[1:]
+
+
+# Small payload helpers --------------------------------------------------------
+
+
+def encode_str_list(items) -> bytes:
+    return encode_length_prefixed(*[item.encode() for item in items])
+
+
+def decode_str_list(data: bytes) -> list[str]:
+    return [_decode_str(raw, "list entry") for raw in decode_length_prefixed(data)]
+
+
+def encode_bytes_list(items) -> bytes:
+    return encode_length_prefixed(*items)
+
+
+def decode_bytes_list(data: bytes) -> list[bytes]:
+    return decode_length_prefixed(data)
+
+
+def encode_int_list(values) -> bytes:
+    out = []
+    for value in values:
+        if value < 0:
+            raise EncodingError("int lists carry non-negative values")
+        out.append(int_to_bytes(value))
+    return encode_length_prefixed(*out)
+
+
+def decode_int_list(data: bytes) -> list[int]:
+    return [bytes_to_int(raw) for raw in decode_length_prefixed(data)]
+
+
+def encode_bit_matrix(bits: list[list[int]]) -> bytes:
+    """A public-bit matrix (rows × lanes of {0,1}) as one byte per bit."""
+    rows = len(bits)
+    lanes = len(bits[0]) if rows else 0
+    if any(len(row) != lanes for row in bits):
+        raise EncodingError("ragged bit matrix")
+    flat = bytes(bit for row in bits for bit in row)
+    if any(b not in (0, 1) for b in flat):
+        raise EncodingError("bit matrix entries must be 0/1")
+    return encode_length_prefixed(int_to_bytes(rows), int_to_bytes(lanes), flat)
+
+
+def decode_bit_matrix(data: bytes) -> list[list[int]]:
+    parts = decode_length_prefixed(data)
+    if len(parts) != 3:
+        raise EncodingError("bit matrix needs (rows, lanes, bits)")
+    rows, lanes = bytes_to_int(parts[0]), bytes_to_int(parts[1])
+    flat = parts[2]
+    if len(flat) != rows * lanes:
+        raise EncodingError("bit matrix payload does not match its shape")
+    if any(b not in (0, 1) for b in flat):
+        raise EncodingError("bit matrix entries must be 0/1")
+    return [list(flat[j * lanes : (j + 1) * lanes]) for j in range(rows)]

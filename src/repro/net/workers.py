@@ -1,0 +1,227 @@
+"""Parallel coin-proof verification across worker processes.
+
+The verifier's dominant cost is checking nb Σ-OR coin proofs per prover
+(Table 1's Σ-verification column).  Two axes of parallelism are free:
+
+* **per prover** — each prover's coin message verifies against its own
+  fresh Fiat–Shamir transcript, so K provers are K independent tasks;
+* **per chunk** — a streamed prover's chunks share one *evolving*
+  transcript, but transcript evolution is a deterministic function of the
+  public messages alone (absorb commitments and announcements, extract
+  the challenge — no group exponentiations).  A worker assigned chunk i
+  therefore *fast-forwards* the transcript over chunks < i with pure
+  hashing, then pays the expensive RLC multi-exponentiation only for its
+  own chunk.  Hashing is orders of magnitude cheaper than the group
+  work, so the chunks are embarrassingly parallel in the part that costs.
+
+Work items travel as wire frames (bytes) and workers rebuild the public
+parameters from a spec frame once per process, so nothing unpicklable
+crosses the process boundary.  ``benchmarks/bench_distributed_session.py``
+measures the speedup and emits ``BENCH_distributed.json``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+
+from repro.core.params import PublicParams
+from repro.core.prover import coin_transcript
+from repro.crypto.fiat_shamir import Transcript
+from repro.crypto.serialization import decode_message
+from repro.crypto.sigma.batch import SigmaBatch
+from repro.crypto.sigma.or_bit import verify_bit
+from repro.errors import EncodingError, ParameterError, VerificationError
+from repro.net import wire
+from repro.utils.rng import SystemRNG
+
+__all__ = [
+    "VerificationPool",
+    "verify_coin_frame",
+    "advance_coin_transcript",
+    "advance_coin_transcript_frame",
+]
+
+_WORKER_PARAMS: PublicParams | None = None
+
+
+def advance_coin_transcript(params: PublicParams, transcript: Transcript, message) -> None:
+    """Fast-forward a coin transcript over one message without verifying.
+
+    Mirrors exactly the transcript mutations of
+    :func:`repro.crypto.sigma.or_bit.verify_bit` — bind pp and the
+    commitment, absorb both announcements, extract (and discard) the
+    challenge — so a later chunk's verification starts from the identical
+    state, at pure hashing cost.
+    """
+    pedersen = params.pedersen
+    pp = pedersen.transcript_bytes()
+    for c_row, p_row in zip(message.commitments, message.proofs):
+        for commitment, proof in zip(c_row, p_row):
+            transcript.append_bytes("pp", pp)
+            transcript.append_element("bit-commitment", commitment.element)
+            transcript.append_element("d0", proof.d0)
+            transcript.append_element("d1", proof.d1)
+            transcript.challenge_scalar("or-challenge", pedersen.q)
+
+
+def advance_coin_transcript_frame(
+    params: PublicParams, transcript: Transcript, frame: bytes
+) -> None:
+    """Fast-forward over a *wire frame* without decoding group elements.
+
+    The transcript absorbs element encodings verbatim, and the frame
+    already carries each element's canonical bytes — so prefix chunks can
+    be replayed by pure length-prefix parsing plus hashing, skipping the
+    per-element membership exponentiations entirely.  This is what makes
+    chunk workers cheap: the expensive validation runs exactly once, in
+    the worker that owns the chunk.
+    """
+    from repro.utils.encoding import decode_length_prefixed
+
+    outer = decode_length_prefixed(frame)
+    if len(outer) != 3:
+        raise EncodingError("not a wire frame")
+    body = decode_length_prefixed(outer[2])
+    if len(body) < 3:
+        raise EncodingError("not a coin message frame")
+    rows = int.from_bytes(body[1], "big")
+    lanes = int.from_bytes(body[2], "big")
+    total = rows * lanes
+    if len(body) != 3 + 2 * total:
+        raise EncodingError("coin message frame shape mismatch")
+    pedersen = params.pedersen
+    pp = pedersen.transcript_bytes()
+    commitments = body[3 : 3 + total]
+    proofs = body[3 + total :]
+    for commitment_bytes, proof_frame in zip(commitments, proofs):
+        proof_parts = decode_length_prefixed(proof_frame)
+        if len(proof_parts) != 7:
+            raise EncodingError("bit proof frame needs magic plus 6 fields")
+        transcript.append_bytes("pp", pp)
+        transcript.append_bytes("bit-commitment", commitment_bytes)
+        transcript.append_bytes("d0", proof_parts[1])
+        transcript.append_bytes("d1", proof_parts[2])
+        transcript.challenge_scalar("or-challenge", pedersen.q)
+
+
+def verify_coin_frame(
+    params: PublicParams,
+    frame: bytes,
+    context: bytes,
+    *,
+    prior_frames: list[bytes] = (),
+    start: int = 0,
+) -> tuple[str, bool, str | None]:
+    """Verify one wire-encoded coin message; returns (prover, ok, note).
+
+    ``prior_frames`` are earlier chunks of the same stream, fast-forwarded
+    (not verified) to reproduce the evolving transcript; ``start`` is the
+    global index of this chunk's first coin, used in the pinpointing note.
+    """
+    try:
+        message = decode_message(params.group, frame)
+    except (EncodingError, ValueError) as exc:
+        return "?", False, f"undecodable coin frame: {exc}"
+    transcript = coin_transcript(params, message.prover_id, context)
+    for prior in prior_frames:
+        advance_coin_transcript_frame(params, transcript, prior)
+    snapshot = transcript.clone()
+    batch = SigmaBatch(params.pedersen, SystemRNG())
+    try:
+        for c_row, p_row in zip(message.commitments, message.proofs):
+            for commitment, proof in zip(c_row, p_row):
+                batch.add_bit_proof(commitment, proof, transcript)
+        batch.verify()
+        return message.prover_id, True, None
+    except VerificationError:
+        pass
+    # Sequential replay from the snapshot to name the failing coin.
+    for j, (c_row, p_row) in enumerate(zip(message.commitments, message.proofs)):
+        for m, (commitment, proof) in enumerate(zip(c_row, p_row)):
+            try:
+                verify_bit(params.pedersen, commitment, proof, snapshot)
+            except VerificationError as exc:
+                note = f"coin proof rejected at coin {start + j}, coordinate {m} ({exc})"
+                return message.prover_id, False, note
+    return message.prover_id, False, "batch rejected (replay accepted)"
+
+
+# Pool plumbing ----------------------------------------------------------------
+
+
+def _init_worker(params_frame: bytes) -> None:
+    global _WORKER_PARAMS
+    _WORKER_PARAMS = wire.decode_params(params_frame)
+
+
+def _prover_task(args: tuple[bytes, bytes]) -> tuple[str, bool, str | None]:
+    frame, context = args
+    return verify_coin_frame(_WORKER_PARAMS, frame, context, start=0)
+
+
+def _chunk_task(
+    args: tuple[bytes, list[bytes], int, int]
+) -> tuple[str, int, bool, str | None]:
+    context, prefix, index, start = args
+    prover_id, ok, note = verify_coin_frame(
+        _WORKER_PARAMS,
+        prefix[-1],
+        context,
+        prior_frames=prefix[:-1],
+        start=start,
+    )
+    return prover_id, index, ok, note
+
+
+class VerificationPool:
+    """A process pool verifying wire-encoded coin messages in parallel."""
+
+    def __init__(self, params: PublicParams, *, processes: int | None = None) -> None:
+        self.params = params
+        self.processes = processes if processes is not None else (os.cpu_count() or 1)
+        if self.processes < 1:
+            raise ParameterError("need at least one worker process")
+        context = multiprocessing.get_context("fork")
+        self._pool = context.Pool(
+            self.processes,
+            initializer=_init_worker,
+            initargs=(wire.encode_params(params),),
+        )
+
+    def verify_prover_messages(
+        self, frames: list[bytes], context: bytes
+    ) -> list[tuple[str, bool, str | None]]:
+        """All provers' monolithic coin messages, one task per prover."""
+        return self._pool.map(_prover_task, [(frame, context) for frame in frames])
+
+    def verify_chunked_stream(
+        self, frames: list[bytes], context: bytes, *, rows_per_chunk: int
+    ) -> tuple[bool, str | None]:
+        """One prover's chunked stream, one task per chunk.
+
+        Chunks verify concurrently (each fast-forwards its transcript
+        prefix); the stream is accepted iff every chunk is, and the note
+        names the earliest failing coin.
+        """
+        # Each task ships only its prefix (chunk i needs frames[:i+1]);
+        # suffix frames would be dead weight on the pool pipe.
+        tasks = [
+            (context, frames[: index + 1], index, index * rows_per_chunk)
+            for index in range(len(frames))
+        ]
+        results = sorted(self._pool.map(_chunk_task, tasks), key=lambda r: r[1])
+        for _, _, ok, note in results:
+            if not ok:
+                return False, note
+        return True, None
+
+    def close(self) -> None:
+        self._pool.close()
+        self._pool.join()
+
+    def __enter__(self) -> "VerificationPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

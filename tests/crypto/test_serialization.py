@@ -102,6 +102,109 @@ class TestSchnorrRoundtrip:
         verify_dlog(group64, g, g ** w, restored, Transcript("t"))
 
 
+class TestAllCodecsAllBackends:
+    """Satellite sweep: every codec round-trips on every group backend,
+    and malformed/truncated/wrong-magic inputs raise EncodingError."""
+
+    @pytest.fixture(
+        scope="class", params=["p64-sim", "ristretto255", "p256"]
+    )
+    def pp(self, request):
+        from repro.core.params import _resolve_group
+        from repro.crypto.pedersen import PedersenParams
+
+        return PedersenParams(_resolve_group(request.param))
+
+    @given(st.integers(min_value=0, max_value=1), st.integers(min_value=0, max_value=2**32))
+    @settings(max_examples=8, deadline=None)
+    def test_bit_proof_property_roundtrip(self, pp, bit, nonce):
+        from repro.crypto.serialization import decode_bit_proof, encode_bit_proof
+
+        rng = SeededRNG(f"all-{bit}-{nonce}")
+        c, o = pp.commit_fresh(bit, rng)
+        proof = prove_bit(pp, c, o, Transcript("t"), rng)
+        restored = decode_bit_proof(pp.group, encode_bit_proof(proof))
+        assert restored == proof
+        verify_bit(pp, c, restored, Transcript("t"))
+
+    def test_one_hot_roundtrip(self, pp):
+        from repro.crypto.serialization import (
+            decode_one_hot_proof,
+            encode_one_hot_proof,
+        )
+
+        rng = SeededRNG("all-oh")
+        cs, os_ = pp.commit_vector([0, 0, 1], rng)
+        proof = prove_one_hot(pp, cs, os_, Transcript("t"), rng)
+        restored = decode_one_hot_proof(pp.group, encode_one_hot_proof(proof))
+        assert restored == proof
+        verify_one_hot(pp, cs, restored, Transcript("t"))
+
+    def test_bit_vector_roundtrip_and_verifies(self, pp):
+        from repro.crypto.serialization import (
+            decode_bit_vector_proof,
+            encode_bit_vector_proof,
+        )
+        from repro.crypto.sigma.bitvec import prove_bit_vector, verify_bit_vector
+
+        rng = SeededRNG("all-bv")
+        cs, os_ = pp.commit_vector([1, 0, 1, 1], rng)
+        proof = prove_bit_vector(pp, cs, os_, Transcript("t"), rng)
+        restored = decode_bit_vector_proof(pp.group, encode_bit_vector_proof(proof))
+        assert restored == proof
+        verify_bit_vector(pp, cs, restored, Transcript("t"))
+
+    def test_validity_proof_dispatch(self, pp):
+        from repro.crypto.serialization import (
+            decode_validity_proof,
+            encode_validity_proof,
+        )
+        from repro.crypto.sigma.bitvec import prove_bit_vector
+
+        rng = SeededRNG("all-dispatch")
+        c, o = pp.commit_fresh(1, rng)
+        bit = prove_bit(pp, c, o, Transcript("t"), rng)
+        cs, os_ = pp.commit_vector([0, 1], rng)
+        bitvec = prove_bit_vector(pp, cs, os_, Transcript("t"), rng)
+        for proof in (bit, bitvec):
+            assert decode_validity_proof(pp.group, encode_validity_proof(proof)) == proof
+        with pytest.raises(EncodingError):
+            decode_validity_proof(pp.group, b"\x00\x00\x00\x03abc")
+
+    def test_schnorr_and_opening_roundtrip(self, pp):
+        from repro.crypto.serialization import (
+            decode_opening_proof,
+            decode_schnorr_proof,
+            encode_opening_proof,
+            encode_schnorr_proof,
+        )
+
+        rng = SeededRNG("all-so")
+        group = pp.group
+        w = group.random_scalar(rng)
+        schnorr = prove_dlog(group, pp.g, pp.g ** w, w, Transcript("t"), rng)
+        assert decode_schnorr_proof(group, encode_schnorr_proof(schnorr)) == schnorr
+        c, o = pp.commit_fresh(5, rng)
+        opening = prove_opening(pp, c, o, Transcript("t"), rng)
+        assert decode_opening_proof(group, encode_opening_proof(opening)) == opening
+
+    @pytest.mark.parametrize("cut", ["truncate", "magic", "empty"])
+    def test_malformed_inputs_rejected(self, pp, cut):
+        from repro.crypto.serialization import decode_bit_proof, encode_bit_proof
+
+        rng = SeededRNG("all-bad")
+        c, o = pp.commit_fresh(0, rng)
+        data = bytearray(encode_bit_proof(prove_bit(pp, c, o, Transcript("t"), rng)))
+        if cut == "truncate":
+            data = data[: len(data) // 2]
+        elif cut == "magic":
+            data[8] ^= 0xFF
+        else:
+            data = b""
+        with pytest.raises((EncodingError, NotOnGroupError)):
+            decode_bit_proof(pp.group, bytes(data))
+
+
 class TestOpeningRoundtrip:
     def test_roundtrip_and_verifies(self, pedersen64):
         rng = SeededRNG("op")

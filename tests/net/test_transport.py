@@ -1,0 +1,134 @@
+"""Transport semantics: ordering, timeouts, accounting, process crossing."""
+
+import threading
+
+import pytest
+
+from repro.errors import ParameterError, ProtocolAbort
+from repro.net.transport import (
+    InMemoryHub,
+    MultiprocessTransport,
+    SocketTransport,
+    multiprocess_star,
+)
+
+
+class TestInMemory:
+    def test_fifo_and_accounting(self):
+        hub = InMemoryHub()
+        a = hub.endpoint("a")
+        b = hub.endpoint("b")
+        a.send("b", b"one")
+        a.send("b", b"four")
+        assert b.recv("a") == b"one"
+        assert b.recv("a") == b"four"
+        assert a.bytes_sent == 7 and a.frames_sent == 2
+        assert b.bytes_received == 7 and b.frames_received == 2
+        # The underlying simulator accounts the exact same bytes.
+        assert hub.network.bytes_sent["a"] == 7
+
+    def test_timeout_aborts(self):
+        hub = InMemoryHub()
+        a = hub.endpoint("a")
+        hub.endpoint("b")
+        with pytest.raises(ProtocolAbort) as err:
+            a.recv("b", timeout=0.05)
+        assert err.value.party == "b"
+
+    def test_cross_thread_blocking(self):
+        hub = InMemoryHub()
+        a = hub.endpoint("a")
+        b = hub.endpoint("b")
+        received = []
+
+        def consumer():
+            received.append(b.recv("a", timeout=5.0))
+
+        thread = threading.Thread(target=consumer)
+        thread.start()
+        a.send("b", b"wake")
+        thread.join(timeout=5.0)
+        assert received == [b"wake"]
+
+    def test_bytes_only(self):
+        hub = InMemoryHub()
+        a = hub.endpoint("a")
+        hub.endpoint("b")
+        with pytest.raises(ParameterError):
+            a.send("b", "not-bytes")
+
+
+class TestMultiprocess:
+    def test_star_same_process_roundtrip(self):
+        center, peers = multiprocess_star("hub", ["x", "y"])
+        peers["x"].send("hub", b"from-x")
+        assert center.recv("x") == b"from-x"
+        center.send("y", b"to-y")
+        assert peers["y"].recv("hub") == b"to-y"
+        assert center.bytes_received == 6
+        for transport in [center, *peers.values()]:
+            transport.close()
+
+    def test_timeout(self):
+        center, peers = multiprocess_star("hub", ["x"])
+        with pytest.raises(ProtocolAbort):
+            center.recv("x", timeout=0.05)
+        center.close()
+        peers["x"].close()
+
+    def test_unknown_peer(self):
+        center, peers = multiprocess_star("hub", ["x"])
+        with pytest.raises(ParameterError):
+            center.send("nobody", b"hi")
+        center.close()
+        peers["x"].close()
+
+    def test_cross_process(self):
+        from multiprocessing import get_context
+
+        center, peers = multiprocess_star("hub", ["child"])
+
+        def child_main(transport):
+            frame = transport.recv("hub", timeout=10.0)
+            transport.send("hub", frame[::-1])
+
+        process = get_context("fork").Process(
+            target=child_main, args=(peers["child"],), daemon=True
+        )
+        process.start()
+        center.send("child", b"abc")
+        assert center.recv("child", timeout=10.0) == b"cba"
+        process.join(timeout=10.0)
+        center.close()
+
+
+class TestSocket:
+    def test_handshake_and_frames(self):
+        listener = SocketTransport.listen("analyst")
+        client = SocketTransport.connect("peer-1", "analyst", port=listener.port)
+        assert listener.accept(1, timeout=5.0) == ["peer-1"]
+        client.send("analyst", b"\x00" * 70000)  # bigger than one TCP segment
+        assert listener.recv("peer-1", timeout=5.0) == b"\x00" * 70000
+        listener.send("peer-1", b"pong")
+        assert client.recv("analyst", timeout=5.0) == b"pong"
+        client.close()
+        listener.close()
+
+    def test_recv_timeout(self):
+        listener = SocketTransport.listen("analyst")
+        client = SocketTransport.connect("peer-1", "analyst", port=listener.port)
+        listener.accept(1, timeout=5.0)
+        with pytest.raises(ProtocolAbort) as err:
+            listener.recv("peer-1", timeout=0.05)
+        assert err.value.party == "peer-1"
+        client.close()
+        listener.close()
+
+    def test_closed_peer_aborts(self):
+        listener = SocketTransport.listen("analyst")
+        client = SocketTransport.connect("peer-1", "analyst", port=listener.port)
+        listener.accept(1, timeout=5.0)
+        client.close()
+        with pytest.raises(ProtocolAbort):
+            listener.recv("peer-1", timeout=1.0)
+        listener.close()

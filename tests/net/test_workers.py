@@ -1,0 +1,127 @@
+"""Parallel verification workers: correctness, pinpointing, transcripts."""
+
+import pytest
+
+from repro.core.params import setup
+from repro.core.prover import NonBitCoinProver, Prover, coin_transcript
+from repro.crypto.serialization import decode_message, encode_message
+from repro.net.workers import (
+    VerificationPool,
+    advance_coin_transcript,
+    advance_coin_transcript_frame,
+    verify_coin_frame,
+)
+from repro.utils.rng import SeededRNG
+
+CONTEXT = b"workers-test"
+
+
+@pytest.fixture(scope="module")
+def params():
+    return setup(1.0, 2**-10, num_provers=2, group="p64-sim", nb_override=64)
+
+
+def _coin_frames(params, names=("prover-0", "prover-1"), cheat=()):
+    frames = []
+    for name in names:
+        cls = NonBitCoinProver if name in cheat else Prover
+        prover = cls(name, params, SeededRNG(name))
+        frames.append(encode_message(prover.commit_coins(CONTEXT)))
+    return frames
+
+
+def _chunked_frames(params, chunks=4, rows=16, cheat_chunk=None):
+    prover = Prover("prover-0", params, SeededRNG("chunked"))
+    prover.begin_coin_stream(CONTEXT)
+    frames = []
+    for index in range(chunks):
+        message = prover.commit_coin_chunk(rows)
+        frame = encode_message(message)
+        if index == cheat_chunk:
+            frame = frame[:-1] + bytes([frame[-1] ^ 0x01])
+        frames.append(frame)
+        prover.absorb_public_bits([[0]] * rows)
+    return frames
+
+
+class TestSingleFrame:
+    def test_honest_frame_verifies(self, params):
+        frame = _coin_frames(params, names=("prover-0",))[0]
+        prover_id, ok, note = verify_coin_frame(params, frame, CONTEXT)
+        assert (prover_id, ok, note) == ("prover-0", True, None)
+
+    def test_cheating_prover_pinpointed(self, params):
+        frame = _coin_frames(params, names=("prover-0",), cheat=("prover-0",))[0]
+        prover_id, ok, note = verify_coin_frame(params, frame, CONTEXT)
+        assert prover_id == "prover-0" and not ok
+        assert "coin proof rejected at coin" in note
+
+    def test_advance_matches_verification_transcript(self, params):
+        """Fast-forward must reproduce verify_bit's transcript exactly:
+        a chunk verified after an advanced prefix equals a chunk verified
+        after a verified prefix."""
+        frames = _chunked_frames(params, chunks=2, rows=8)
+        first = decode_message(params.group, frames[0])
+        advanced = coin_transcript(params, "prover-0", CONTEXT)
+        advance_coin_transcript(params, advanced, first)
+
+        verified = coin_transcript(params, "prover-0", CONTEXT)
+        from repro.crypto.sigma.or_bit import verify_bit
+
+        for c_row, p_row in zip(first.commitments, first.proofs):
+            for commitment, proof in zip(c_row, p_row):
+                verify_bit(params.pedersen, commitment, proof, verified)
+        assert advanced.challenge_bytes("probe", 16) == verified.challenge_bytes(
+            "probe", 16
+        )
+
+    def test_raw_frame_advance_matches_decoded_advance(self, params):
+        """The byte-level fast-forward (no element decoding) reaches the
+        same transcript state as advancing over the decoded message."""
+        frames = _chunked_frames(params, chunks=1, rows=8)
+        decoded_path = coin_transcript(params, "prover-0", CONTEXT)
+        advance_coin_transcript(
+            params, decoded_path, decode_message(params.group, frames[0])
+        )
+        raw_path = coin_transcript(params, "prover-0", CONTEXT)
+        advance_coin_transcript_frame(params, raw_path, frames[0])
+        assert raw_path.challenge_bytes("probe", 16) == decoded_path.challenge_bytes(
+            "probe", 16
+        )
+
+
+class TestPool:
+    def test_per_prover_parallel(self, params):
+        frames = _coin_frames(params, cheat=("prover-1",))
+        with VerificationPool(params, processes=2) as pool:
+            results = pool.verify_prover_messages(frames, CONTEXT)
+        verdicts = {prover_id: ok for prover_id, ok, _ in results}
+        assert verdicts == {"prover-0": True, "prover-1": False}
+        notes = {prover_id: note for prover_id, _, note in results}
+        assert "coin proof rejected at coin" in notes["prover-1"]
+
+    def test_per_chunk_parallel_accepts_honest_stream(self, params):
+        frames = _chunked_frames(params)
+        with VerificationPool(params, processes=2) as pool:
+            ok, note = pool.verify_chunked_stream(frames, CONTEXT, rows_per_chunk=16)
+        assert ok and note is None
+
+    def test_per_chunk_parallel_pinpoints_global_coin_index(self, params):
+        frames = _chunked_frames(params, cheat_chunk=2)
+        with VerificationPool(params, processes=2) as pool:
+            ok, note = pool.verify_chunked_stream(frames, CONTEXT, rows_per_chunk=16)
+        assert not ok
+        # Chunk 2 starts at coin 32; the bit-flip hit its last proof.
+        assert "coin proof rejected at coin 47" in note
+
+    def test_pool_matches_sequential_verifier(self, params):
+        """The pool's verdicts equal PublicVerifier's for the same frames."""
+        from repro.core.verifier import PublicVerifier
+
+        frames = _coin_frames(params, cheat=("prover-1",))
+        verifier = PublicVerifier(params, SeededRNG("v"))
+        messages = [decode_message(params.group, frame) for frame in frames]
+        expected = verifier.verify_all_coin_commitments(messages, CONTEXT)
+        with VerificationPool(params, processes=1) as pool:
+            results = pool.verify_prover_messages(frames, CONTEXT)
+        assert {p: ok for p, ok, _ in results} == expected

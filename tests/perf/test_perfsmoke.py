@@ -87,6 +87,56 @@ def test_fixed_base_tables_beat_naive_pow(pedersen128):
     )
 
 
+def test_serialization_overhead_at_nb4096(pedersen128):
+    """Wire-layer canary for the distributed front-end (repro.net).
+
+    At nb = 4096 on p128-sim, encoding a full coin-commitment message
+    must stay under half the batched verification time (measured ~0.13×),
+    and decoding — which *includes* per-element group-membership
+    validation, one exponentiation per element by design — under twice
+    the sequential verification time (measured ~1.1×).  Regressing past
+    these bounds means the serving path's bottleneck moved from
+    cryptography to serialization.
+    """
+    from repro.core.params import PublicParams
+    from repro.core.prover import Prover
+    from repro.core.verifier import PublicVerifier
+    from repro.crypto.serialization import decode_message, encode_message
+
+    params = PublicParams(
+        pedersen=pedersen128, epsilon=1.0, delta=2**-10, nb=4096, num_provers=1
+    )
+    prover = Prover("prover-0", params, SeededRNG("ser-perf"))
+    message = prover.commit_coins(b"perfsmoke")
+
+    start = time.perf_counter()
+    frame = encode_message(message)
+    encode_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    decoded = decode_message(params.group, frame)
+    decode_s = time.perf_counter() - start
+
+    batch_verifier = PublicVerifier(params, SeededRNG("v"))
+    start = time.perf_counter()
+    assert batch_verifier.verify_coin_commitments(decoded, b"perfsmoke")
+    batch_s = time.perf_counter() - start
+
+    seq_verifier = PublicVerifier(params, SeededRNG("v2"), batch=False)
+    start = time.perf_counter()
+    assert seq_verifier.verify_coin_commitments(decoded, b"perfsmoke")
+    seq_s = time.perf_counter() - start
+
+    assert encode_s < 0.5 * batch_s, (
+        f"encoding 4096 coins took {encode_s * 1e3:.0f}ms vs "
+        f"{batch_s * 1e3:.0f}ms batched verification"
+    )
+    assert decode_s < 2.0 * seq_s, (
+        f"decoding 4096 coins took {decode_s * 1e3:.0f}ms vs "
+        f"{seq_s * 1e3:.0f}ms sequential verification"
+    )
+
+
 def test_fused_commit_beats_two_pows(pedersen128):
     """Com(x, r) in one interleaved comb walk vs two naive pows (~2.2×
     measured; 1.2× floor)."""

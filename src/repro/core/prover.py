@@ -148,7 +148,13 @@ class Prover(MorraParticipant):
             raise ParameterError("broadcast/share client mismatch")
         if len(message.openings) != self.params.dimension:
             return False
+        # A broadcast declaring fewer rows than K provers (or short rows)
+        # is a client-attributable shape lie: complain, don't crash.
+        if not 0 <= prover_index < len(broadcast.share_commitments):
+            return False
         commitments = broadcast.share_commitments[prover_index]
+        if len(commitments) != self.params.dimension:
+            return False
         for commitment, opening in zip(commitments, message.openings):
             if not self.params.pedersen.opens_to(commitment, opening):
                 return False

@@ -21,7 +21,9 @@ see DESIGN.md.
 Morra runs through the same proxies: the server samples and commits on
 its own randomness tape (preserving per-party RNG streams), the analyst
 verifier co-samples, and :func:`repro.mpc.morra.run_morra_batch` checks
-every opening as usual.
+every opening as usual.  A server's contributions never cross the wire
+before the reveal round — the sample RPC reports only a count, so even
+a malicious front-end cannot see the values it must commit against.
 """
 
 from __future__ import annotations
@@ -85,7 +87,16 @@ class RemoteProver(MorraParticipant):
 
     def _call(self, method: str, *parts: bytes) -> list[bytes]:
         self.transport.send(self.name, wire.encode_rpc(method, *parts))
-        ok, reply = wire.decode_reply(self.transport.recv(self.name, self.timeout))
+        frame = self.transport.recv(self.name, self.timeout)
+        try:
+            ok, reply = wire.decode_reply(frame)
+        except EncodingError as exc:
+            # A garbage reply is the server's fault: abort with the
+            # server named so the engine records it, never a raw
+            # EncodingError crashing the front-end.
+            raise ProtocolAbort(
+                f"undecodable reply from server: {exc}", party=self.name
+            ) from exc
         if not ok:
             reason = reply[0].decode() if reply else "remote prover aborted"
             raise ProtocolAbort(reason, party=self.name)
@@ -152,7 +163,12 @@ class RemoteProver(MorraParticipant):
     def _decoded(self, reply: list[bytes], expected_type):
         if not reply:
             raise ProtocolAbort("empty reply from server", party=self.name)
-        message = decode_message(self.params.group, reply[0])
+        try:
+            message = decode_message(self.params.group, reply[0])
+        except (EncodingError, ValueError) as exc:  # incl. NotOnGroupError
+            raise ProtocolAbort(
+                f"undecodable message from server: {exc}", party=self.name
+            ) from exc
         if not isinstance(message, expected_type):
             raise ProtocolAbort(
                 f"expected {expected_type.__name__} from server", party=self.name
@@ -162,15 +178,31 @@ class RemoteProver(MorraParticipant):
     # Morra (Algorithm 1), proxied --------------------------------------------
 
     def sample_values(self, q: int, count: int) -> list[int]:
+        """Ask the server to sample; its contributions stay on the server.
+
+        The reply carries only a count — returning the actual values
+        would hand the analyst every server's secret contribution before
+        the commit round, voiding Morra's hiding.  Placeholder zeros are
+        enough for :func:`~repro.mpc.morra.run_morra_batch`, which only
+        length-checks this list and combines the values from the
+        commitment-verified reveal round.
+        """
         reply = self._call("morra-sample", int_to_bytes(q), int_to_bytes(count))
-        values = wire.decode_int_list(reply[0]) if reply else []
-        return values
+        if not reply or bytes_to_int(reply[0]) != count:
+            raise ProtocolAbort("morra sample count mismatch", party=self.name)
+        return [0] * count
 
     def commitments(self, scheme: HashCommitmentScheme, values):
         reply = self._call("morra-commit", scheme.domain)
         if not reply:
             raise ProtocolAbort("malformed morra commit from server", party=self.name)
-        commitments = [HashCommitment(d) for d in wire.decode_bytes_list(reply[0])]
+        try:
+            digests = wire.decode_bytes_list(reply[0])
+        except EncodingError as exc:
+            raise ProtocolAbort(
+                f"malformed morra commit from server: {exc}", party=self.name
+            ) from exc
+        commitments = [HashCommitment(d) for d in digests]
         if len(commitments) != len(values):
             raise ProtocolAbort("morra commit count mismatch", party=self.name)
         # The opening randomness stays on the server until reveal.
@@ -180,8 +212,13 @@ class RemoteProver(MorraParticipant):
         reply = self._call("morra-reveal")
         if len(reply) != 2:
             raise ProtocolAbort("malformed morra reveal from server", party=self.name)
-        opened_values = wire.decode_int_list(reply[0])
-        opened_randomness = wire.decode_bytes_list(reply[1])
+        try:
+            opened_values = wire.decode_int_list(reply[0])
+            opened_randomness = wire.decode_bytes_list(reply[1])
+        except EncodingError as exc:
+            raise ProtocolAbort(
+                f"malformed morra reveal from server: {exc}", party=self.name
+            ) from exc
         return opened_values, opened_randomness
 
 
@@ -296,7 +333,9 @@ class ServerNode:
         if method == "morra-sample":
             q, count = bytes_to_int(parts[0]), bytes_to_int(parts[1])
             self._morra_values = prover.sample_values(q, count)
-            return wire.encode_reply(wire.encode_int_list(self._morra_values))
+            # Count only: the contributions are secret until the reveal
+            # round (hiding against the front-end).
+            return wire.encode_reply(int_to_bytes(len(self._morra_values)))
         if method == "morra-commit":
             scheme = HashCommitmentScheme(parts[0])
             commitments, randomness = prover.commitments(scheme, self._morra_values)
@@ -428,6 +467,30 @@ class AnalystNode:
                 broadcast, privates = wire.decode_enrollment(group, frame)
             except (EncodingError, NotOnGroupError, ValueError) as exc:
                 self.engine.verifier.audit.note(f"dropped undecodable enrollment: {exc}")
+                continue
+            if (
+                len(broadcast.share_commitments) != self.params.num_provers
+                or any(
+                    len(row) != self.params.dimension
+                    for row in broadcast.share_commitments
+                )
+            ):
+                # A shape lie (e.g. fewer commitment rows than provers)
+                # must never reach the share-check RPCs: a prover indexing
+                # a missing row would abort the session blaming itself.
+                self.engine.verifier.audit.note(
+                    f"rejected enrollment from {broadcast.client_id!r}: "
+                    "share commitments do not match K provers x M coordinates"
+                )
+                continue
+            if any(m.client_id != broadcast.client_id for m in privates):
+                # Same class of lie: a mismatched share id would raise
+                # ParameterError inside the prover's check, aborting the
+                # session with blame on the honest prover.
+                self.engine.verifier.audit.note(
+                    f"rejected enrollment from {broadcast.client_id!r}: "
+                    "private share client id does not match the broadcast"
+                )
                 continue
             try:
                 self.engine.submit_prepared([(broadcast, privates)])

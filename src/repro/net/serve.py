@@ -240,7 +240,9 @@ def _start_socket(query, values, server_names, seed, host, port, timeout):
     )
     for process in processes:
         process.start()
-    analyst_transport.accept(len(processes), timeout)
+    analyst_transport.accept(
+        len(processes), timeout, expected=server_names + ["clients"]
+    )
 
     def cleanup():
         for process in processes:

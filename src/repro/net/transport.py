@@ -23,9 +23,11 @@ party, exactly as the simulator's ``receive`` does.
 from __future__ import annotations
 
 import abc
+import errno
 import socket
 import struct
 import threading
+import time
 from multiprocessing import Pipe
 from multiprocessing.connection import Connection
 
@@ -39,9 +41,23 @@ __all__ = [
     "MultiprocessTransport",
     "SocketTransport",
     "multiprocess_star",
+    "DEFAULT_MAX_FRAME_BYTES",
 ]
 
 _LEN = struct.Struct(">I")
+
+# Upper bound on a single frame an unauthenticated TCP peer can make a
+# node buffer: well above any legitimate protocol frame (a nb=4096
+# coin-commitment message over modp-2048 is a few MiB), far below the
+# 4 GiB the length prefix could otherwise announce.
+DEFAULT_MAX_FRAME_BYTES = 1 << 28  # 256 MiB
+
+# The pre-authentication handshake carries only a peer name; anything
+# bigger is hostile and must not be buffered at the full frame cap.
+_HANDSHAKE_MAX_BYTES = 1024
+
+# Cap on recorded dropped-handshake diagnostics per listener.
+_MAX_DROPPED_NOTES = 32
 
 
 class Transport(abc.ABC):
@@ -119,15 +135,24 @@ class InMemoryTransport(Transport):
             self.hub.condition.notify_all()
 
     def _recv(self, peer: str, timeout: float | None) -> bytes:
+        # Monotonic deadline: the hub condition wakes on *any* traffic, so
+        # waiting the full timeout per wake would let unrelated sends
+        # extend the block indefinitely.
+        deadline = None if timeout is None else time.monotonic() + timeout
         with self.hub.condition:
             while True:
                 frame = self.hub.network.try_receive(self.name, peer)
                 if frame is not None:
                     return frame
-                if not self.hub.condition.wait(timeout):
+                if deadline is None:
+                    self.hub.condition.wait()
+                    continue
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
                     raise ProtocolAbort(
                         f"{self.name!r} timed out waiting for {peer!r}", party=peer
                     )
+                self.hub.condition.wait(remaining)
 
 
 # Multiprocessing pipes -------------------------------------------------------
@@ -201,10 +226,21 @@ class SocketTransport(Transport):
     :meth:`accept`; connecting sides call :meth:`connect`, which sends a
     one-frame handshake carrying the connector's name so the listener can
     map sockets to peers.
+
+    ``max_frame_bytes`` caps what a peer's length prefix can make this
+    node buffer (default :data:`DEFAULT_MAX_FRAME_BYTES`); an oversized
+    announcement aborts the channel before any allocation.
     """
 
-    def __init__(self, name: str) -> None:
+    def __init__(
+        self, name: str, *, max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES
+    ) -> None:
         super().__init__(name)
+        if max_frame_bytes < 1:
+            raise ParameterError("max_frame_bytes must be positive")
+        self.max_frame_bytes = max_frame_bytes
+        self.dropped_handshakes: list[str] = []
+        self._dropped_overflow = 0
         self._sockets: dict[str, socket.socket] = {}
         self._listener: socket.socket | None = None
         self.port: int | None = None
@@ -213,9 +249,15 @@ class SocketTransport(Transport):
 
     @classmethod
     def listen(
-        cls, name: str, host: str = "127.0.0.1", port: int = 0, *, backlog: int = 16
+        cls,
+        name: str,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        backlog: int = 16,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
     ) -> "SocketTransport":
-        transport = cls(name)
+        transport = cls(name, max_frame_bytes=max_frame_bytes)
         listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         listener.bind((host, port))
@@ -224,24 +266,105 @@ class SocketTransport(Transport):
         transport.port = listener.getsockname()[1]
         return transport
 
-    def accept(self, count: int, timeout: float | None = 30.0) -> list[str]:
-        """Accept ``count`` handshaking peers; returns their names."""
+    def accept(
+        self,
+        count: int,
+        timeout: float | None = 30.0,
+        *,
+        expected: list[str] | None = None,
+    ) -> list[str]:
+        """Accept ``count`` handshaking peers; returns their names.
+
+        A connection whose handshake is broken — unreadable frame,
+        non-UTF-8 name, a name already claimed, or (with ``expected``) a
+        name outside the expected peer set — is dropped and accepting
+        continues: an unauthenticated peer must not be able to kill the
+        listener.  ``timeout`` is an overall monotonic deadline for the
+        whole call (never re-armed per connection), so hostile peers can
+        at worst exhaust it, after which the abort message names every
+        dropped handshake — also kept on :attr:`dropped_handshakes` — so
+        an honest misconfiguration (two workers sharing a name) stays
+        diagnosable.
+
+        Names are first-come-first-served: a squatter racing an expected
+        peer to its name degrades to the malicious-server scenario ΠBin
+        already tolerates (see DESIGN.md); a hardened deployment would
+        authenticate the handshake.
+        """
         if self._listener is None:
             raise ParameterError("accept requires a listening transport")
-        self._listener.settimeout(timeout)
-        names = []
-        for _ in range(count):
+        deadline = None if timeout is None else time.monotonic() + timeout
+
+        def remaining() -> float | None:
+            if deadline is None:
+                return None
+            left = deadline - time.monotonic()
+            if left <= 0:
+                raise ProtocolAbort(self._accept_timeout_message())
+            return left
+
+        names: list[str] = []
+        while len(names) < count:
             try:
+                self._listener.settimeout(remaining())
                 sock, _ = self._listener.accept()
             except TimeoutError as exc:  # socket.timeout is an alias
-                raise ProtocolAbort("timed out accepting peers") from exc
-            peer = _read_frame(sock, timeout, party="connecting peer").decode()
+                raise ProtocolAbort(self._accept_timeout_message()) from exc
+            except OSError as exc:
+                # A connection that died in the accept queue (RST) is the
+                # peer's problem; anything else (EMFILE, EBADF, ...) is a
+                # listener failure that retrying would busy-spin on.
+                if exc.errno not in (errno.ECONNABORTED, errno.ECONNRESET):
+                    raise
+                self._note_dropped("<aborted connection>")
+                continue
+            # Taken before the read so deadline expiry propagates with
+            # the accept-timeout message instead of being misrecorded as
+            # this peer's unreadable handshake.
+            handshake_timeout = remaining()
+            try:
+                peer = _read_frame(
+                    sock,
+                    handshake_timeout,
+                    party="connecting peer",
+                    max_bytes=_HANDSHAKE_MAX_BYTES,
+                ).decode()
+            except (ProtocolAbort, UnicodeDecodeError):
+                sock.close()
+                # Re-raises with the accept-timeout message if the overall
+                # deadline expired mid-read — that peer did nothing wrong
+                # and must not be recorded as a bad handshake.
+                remaining()
+                self._note_dropped("<unreadable handshake>")
+                continue
+            if expected is not None and peer not in expected:
+                sock.close()
+                self._note_dropped(f"unexpected name {peer[:64]!r}")
+                continue
             if peer in self._sockets:
                 sock.close()
-                raise ProtocolAbort(f"duplicate peer {peer!r}", party=peer)
+                self._note_dropped(f"duplicate name {peer[:64]!r}")
+                continue
             self._sockets[peer] = sock
             names.append(peer)
         return names
+
+    def _note_dropped(self, label: str) -> None:
+        # Bounded: hostile connections must not grow the diagnostic list
+        # (and the eventual abort message) without limit.
+        if len(self.dropped_handshakes) < _MAX_DROPPED_NOTES:
+            self.dropped_handshakes.append(label)
+        else:
+            self._dropped_overflow += 1
+
+    def _accept_timeout_message(self) -> str:
+        message = "timed out accepting peers"
+        if self.dropped_handshakes:
+            dropped = ", ".join(self.dropped_handshakes)
+            if self._dropped_overflow:
+                dropped += f", and {self._dropped_overflow} more"
+            message += f" (dropped: {dropped})"
+        return message
 
     @classmethod
     def connect(
@@ -252,8 +375,9 @@ class SocketTransport(Transport):
         port: int = 0,
         *,
         timeout: float | None = 30.0,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
     ) -> "SocketTransport":
-        transport = cls(name)
+        transport = cls(name, max_frame_bytes=max_frame_bytes)
         sock = socket.create_connection((host, port), timeout=timeout)
         _write_frame(sock, name.encode())
         transport._sockets[peer] = sock
@@ -271,7 +395,9 @@ class SocketTransport(Transport):
         _write_frame(self._socket(peer), frame)
 
     def _recv(self, peer: str, timeout: float | None) -> bytes:
-        return _read_frame(self._socket(peer), timeout, party=peer)
+        return _read_frame(
+            self._socket(peer), timeout, party=peer, max_bytes=self.max_frame_bytes
+        )
 
     def close(self) -> None:
         for sock in self._sockets.values():
@@ -287,20 +413,43 @@ def _write_frame(sock: socket.socket, frame: bytes) -> None:
     sock.sendall(_LEN.pack(len(frame)) + frame)
 
 
-def _read_frame(sock: socket.socket, timeout: float | None, *, party: str) -> bytes:
-    sock.settimeout(timeout)
+def _read_frame(
+    sock: socket.socket,
+    timeout: float | None,
+    *,
+    party: str,
+    max_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+) -> bytes:
+    # One monotonic deadline for the whole frame: re-arming the socket
+    # timeout per recv would let a byte-trickling peer hold the read open
+    # for timeout-per-byte instead of timeout-per-frame.
+    deadline = None if timeout is None else time.monotonic() + timeout
     try:
-        header = _read_exact(sock, _LEN.size, party)
-        return _read_exact(sock, _LEN.unpack(header)[0], party)
+        header = _read_exact(sock, _LEN.size, party, deadline)
+        size = _LEN.unpack(header)[0]
+        if size > max_bytes:
+            raise ProtocolAbort(
+                f"{party!r} announced an oversized frame ({size} bytes)", party=party
+            )
+        return _read_exact(sock, size, party, deadline)
     except TimeoutError as exc:
         raise ProtocolAbort(f"timed out waiting for {party!r}", party=party) from exc
     except OSError as exc:
         raise ProtocolAbort(f"socket to {party!r} failed: {exc}", party=party) from exc
 
 
-def _read_exact(sock: socket.socket, n: int, party: str) -> bytes:
+def _read_exact(
+    sock: socket.socket, n: int, party: str, deadline: float | None
+) -> bytes:
     buffer = bytearray()
     while len(buffer) < n:
+        if deadline is None:
+            sock.settimeout(None)
+        else:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise TimeoutError("frame deadline elapsed")
+            sock.settimeout(remaining)
         chunk = sock.recv(n - len(buffer))
         if not chunk:
             raise ProtocolAbort(f"{party!r} closed the connection", party=party)

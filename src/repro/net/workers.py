@@ -124,8 +124,13 @@ def verify_coin_frame(
     except (EncodingError, ValueError) as exc:
         return "?", False, f"undecodable coin frame: {exc}"
     transcript = coin_transcript(params, message.prover_id, context)
-    for prior in prior_frames:
-        advance_coin_transcript_frame(params, transcript, prior)
+    try:
+        for prior in prior_frames:
+            advance_coin_transcript_frame(params, transcript, prior)
+    except (EncodingError, ValueError) as exc:
+        # A broken earlier chunk must reject the stream gracefully from
+        # every worker whose prefix contains it, not crash the pool.
+        return message.prover_id, False, f"undecodable prior chunk in stream: {exc}"
     snapshot = transcript.clone()
     batch = SigmaBatch(params.pedersen, SystemRNG())
     try:

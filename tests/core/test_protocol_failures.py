@@ -114,6 +114,33 @@ class TestClientMessageFailures:
         truncated = ClientShareMessage(client_id="c0", openings=())
         assert prover.receive_client_share(broadcast, truncated, 0) is False
 
+    def test_out_of_range_prover_index_complained(self):
+        """A broadcast declaring fewer share-commitment rows than K
+        provers yields a complaint (False), never an IndexError — a
+        hostile client must not abort the session with the blame landing
+        on the honest prover that indexed the missing row."""
+        import dataclasses
+
+        params = make_params(k=2)
+        prover = Prover("prover-1", params, SeededRNG("p"))
+        broadcast, privates = Client("c0", [1], SeededRNG("c")).submit(params)
+        short = dataclasses.replace(
+            broadcast, share_commitments=broadcast.share_commitments[:1]
+        )
+        assert prover.receive_client_share(short, privates[1], 1) is False
+
+    def test_short_commitment_row_complained(self):
+        """A commitment row shorter than the dimension must be a
+        complaint, not a silently truncated zip that accepts unchecked
+        openings."""
+        import dataclasses
+
+        params = make_params(k=1)
+        prover = Prover("prover-0", params, SeededRNG("p"))
+        broadcast, privates = Client("c0", [1], SeededRNG("c")).submit(params)
+        short = dataclasses.replace(broadcast, share_commitments=((),))
+        assert prover.receive_client_share(short, privates[0], 0) is False
+
     def test_mismatched_client_id_raises(self):
         params = make_params(k=1)
         prover = Prover("prover-0", params, SeededRNG("p"))

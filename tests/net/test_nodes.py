@@ -251,6 +251,66 @@ class TestWireTampering:
         assert any("dropped" in note for note in release.audit.notes)
         assert release.audit.clients["client-3"] is ClientStatus.VALID
 
+    def test_short_broadcast_enrollment_dropped_not_fatal(self):
+        """A well-formed hostile enrollment whose broadcast declares
+        fewer share-commitment rows than K provers is rejected at ingest
+        with an audit note — it must never reach the share-check RPCs,
+        where an IndexError would abort the session blaming the honest
+        prover."""
+        import dataclasses
+
+        from repro.net import wire
+
+        query = CountQuery(epsilon=1.0, delta=DELTA)
+        params = query.build_params(num_provers=2, group="p64-sim", nb_override=16)
+
+        def tamper(index, frame):
+            if index != 2:
+                return frame
+            broadcast, privates = wire.decode_enrollment(params.group, frame)
+            hostile = dataclasses.replace(
+                broadcast, share_commitments=broadcast.share_commitments[:1]
+            )
+            return wire.encode_enrollment(hostile, privates)
+
+        release = self._run_memory_session_with_client_tamper(tamper)
+        assert release.accepted
+        assert "client-2" not in release.audit.clients
+        assert any(
+            "rejected enrollment" in note and "client-2" in note
+            for note in release.audit.notes
+        ), release.audit.notes
+        assert all(
+            status is ProverStatus.HONEST
+            for status in release.audit.provers.values()
+        )
+
+    def test_mismatched_share_id_enrollment_dropped_not_fatal(self):
+        """A private share message whose client_id differs from its
+        broadcast would raise ParameterError inside the prover's check
+        (blaming the honest prover); it must be rejected at ingest."""
+        import dataclasses
+
+        from repro.net import wire
+
+        query = CountQuery(epsilon=1.0, delta=DELTA)
+        params = query.build_params(num_provers=2, group="p64-sim", nb_override=16)
+
+        def tamper(index, frame):
+            if index != 2:
+                return frame
+            broadcast, privates = wire.decode_enrollment(params.group, frame)
+            privates[0] = dataclasses.replace(privates[0], client_id="evil")
+            return wire.encode_enrollment(broadcast, privates)
+
+        release = self._run_memory_session_with_client_tamper(tamper)
+        assert release.accepted
+        assert "client-2" not in release.audit.clients
+        assert any(
+            "rejected enrollment" in note and "client-2" in note
+            for note in release.audit.notes
+        ), release.audit.notes
+
     def test_duplicate_client_id_dropped_not_fatal(self):
         """A replayed enrollment (same client id twice) is rejected with
         an audit note instead of crashing the front-end."""
@@ -296,6 +356,79 @@ class TestWireTampering:
         for thread in threads:
             thread.join(timeout=10.0)
         return result.release
+
+
+class TestRemoteProverRobustness:
+    def _proxy(self):
+        from repro.net.nodes import RemoteProver
+
+        query = CountQuery(epsilon=1.0, delta=DELTA)
+        params = query.build_params(num_provers=1, group="p64-sim", nb_override=16)
+        hub = InMemoryHub()
+        analyst = hub.endpoint("analyst")
+        server = hub.endpoint("prover-0")
+        return RemoteProver("prover-0", analyst, params, timeout=5.0), server
+
+    def test_garbage_reply_aborts_with_server_named(self):
+        """An undecodable reply frame is the server's fault: ProtocolAbort
+        naming it (so the engine records ABORTED), never a raw
+        EncodingError crashing the front-end."""
+        from repro.errors import ProtocolAbort
+
+        proxy, server = self._proxy()
+        server.send("analyst", b"garbage")
+        with pytest.raises(ProtocolAbort) as err:
+            proxy.begin_coin_stream(b"ctx")
+        assert err.value.party == "prover-0"
+
+    def test_garbage_message_in_ok_reply_aborts_with_server_named(self):
+        from repro.errors import ProtocolAbort
+        from repro.net import wire
+
+        proxy, server = self._proxy()
+        server.send("analyst", wire.encode_reply(b"not-a-message"))
+        with pytest.raises(ProtocolAbort) as err:
+            proxy.finish_output()
+        assert err.value.party == "prover-0"
+
+
+class TestMorraHiding:
+    def test_sample_rpc_reveals_only_a_count(self):
+        """The morra-sample reply must not carry the server's secret
+        contributions — only their count.  Shipping the values would let
+        a malicious front-end see every contribution before the commit
+        round, voiding the commit-reveal's hiding."""
+        from repro.net import wire
+        from repro.utils.encoding import int_to_bytes
+
+        query = CountQuery(epsilon=1.0, delta=DELTA)
+        params = query.build_params(num_provers=1, group="p64-sim", nb_override=16)
+        hub = InMemoryHub()
+        node = ServerNode(hub.endpoint("prover-0"), SeededRNG("morra").fork("prover-0"))
+        thread = threading.Thread(target=node.run, daemon=True)
+        thread.start()
+        analyst = hub.endpoint("analyst")
+        analyst.send(
+            "prover-0",
+            wire.encode_control(
+                "setup",
+                wire.encode_params(params),
+                wire.encode_plan(query.build_plan()),
+                b"prover-0",
+            ),
+        )
+        ok, _ = wire.decode_reply(analyst.recv("prover-0", 10.0))
+        assert ok
+        analyst.send(
+            "prover-0",
+            wire.encode_rpc("morra-sample", int_to_bytes(1009), int_to_bytes(5)),
+        )
+        ok, parts = wire.decode_reply(analyst.recv("prover-0", 10.0))
+        assert ok
+        assert parts == [int_to_bytes(5)]
+        analyst.send("prover-0", wire.encode_control("shutdown"))
+        analyst.recv("prover-0", 10.0)
+        thread.join(timeout=10.0)
 
 
 class TestCheatingProverOverTheWire:

@@ -75,6 +75,25 @@ class TestSingleFrame:
             "probe", 16
         )
 
+    def test_undecodable_prior_chunk_rejects_not_crashes(self, params):
+        """A structurally broken earlier chunk must yield a graceful
+        rejection from workers fast-forwarding over it, not a raw
+        EncodingError crashing the pool."""
+        frames = _chunked_frames(params, chunks=2, rows=8)
+        prover_id, ok, note = verify_coin_frame(
+            params, frames[1], CONTEXT, prior_frames=[frames[0][:-40]], start=8
+        )
+        assert prover_id == "prover-0" and not ok
+        assert "undecodable prior chunk" in note
+
+    def test_undecodable_prior_chunk_rejects_stream_via_pool(self, params):
+        frames = _chunked_frames(params, chunks=3, rows=8)
+        frames[0] = frames[0][:-40]
+        with VerificationPool(params, processes=2) as pool:
+            ok, note = pool.verify_chunked_stream(frames, CONTEXT, rows_per_chunk=8)
+        assert not ok
+        assert "undecodable" in note
+
     def test_raw_frame_advance_matches_decoded_advance(self, params):
         """The byte-level fast-forward (no element decoding) reaches the
         same transcript state as advancing over the decoded message."""

@@ -191,6 +191,33 @@ class ProtocolEngine:
             self.network.register(broadcast.client_id)
             self._enroll(broadcast, list(privates))
 
+    # Sharded enrollment ------------------------------------------------------
+    #
+    # A sharded front-end (repro.net.shard) validates clients on shard
+    # workers and routes private shares itself; the engine still owns the
+    # two pieces of client-phase state every later phase depends on — the
+    # broadcast-context digest that binds all coin transcripts, and the
+    # ordered valid-id list the release aggregates over.  These hooks let
+    # the front-end feed both without the engine re-verifying anything,
+    # while RNG consumption stays exactly that of an unsharded run (the
+    # hooks draw nothing), which is what keeps sharded releases
+    # byte-identical.
+
+    def adopt_enrollment(self, broadcast: ClientBroadcast) -> None:
+        """Record an enrollment whose validation happens elsewhere:
+        context digest, client registry and count only.  Raises
+        ``ParameterError`` on a duplicate or reserved client id, exactly
+        as :meth:`submit_prepared` would."""
+        self._require(Phase.ENROLL, "submit")
+        self.network.register(broadcast.client_id)
+        self._context.absorb(broadcast)
+        self._client_count += 1
+
+    def adopt_valid_ids(self, valid_ids) -> None:
+        """Append externally validated client ids (submission order)."""
+        self._require(Phase.ENROLL, "submit")
+        self._valid_ids.extend(valid_ids)
+
     def _enroll(
         self, broadcast: ClientBroadcast, privates: list[ClientShareMessage]
     ) -> None:

@@ -36,7 +36,51 @@ from repro.errors import ParameterError, SessionStateError
 from repro.utils.rng import RNG, SystemRNG
 from repro.utils.timing import StageTimer
 
-__all__ = ["Session", "SessionResult", "QueryResult"]
+__all__ = ["Session", "SessionResult", "QueryResult", "build_engine"]
+
+
+def build_engine(
+    query: Query,
+    *,
+    num_provers: int,
+    group: str = "modp-2048",
+    nb_override: int | None = None,
+    chunk_size: int | None = None,
+    rng: RNG | None = None,
+    provers=None,
+    verifier=None,
+    retain_messages: bool | None = None,
+    params=None,
+) -> ProtocolEngine:
+    """One :class:`ProtocolEngine` for a single (non-composed) query.
+
+    The shared construction path of every front-end — in-process
+    :class:`Session`, distributed :class:`~repro.net.nodes.AnalystNode`,
+    sharded :class:`~repro.net.shard.ShardedAnalyst` — so all of them
+    derive parameters, plan and engine identically: same fingerprint,
+    same RNG fork labels, hence byte-identical releases under a seed.
+    ``provers``/``verifier`` slot in remote proxies or shard-aware
+    verifiers without touching the engine.  A front-end that needs the
+    parameters *before* the engine exists (to hand them to proxies or
+    size its chunks) builds them once with ``query.build_params`` and
+    passes them via ``params`` — the engine then uses that exact object,
+    so there is never a second, merely-equal parameter set in play.
+    """
+    if isinstance(query, ComposedQuery):
+        raise ParameterError("build_engine takes a single query; expand composures")
+    if params is None:
+        params = query.build_params(
+            num_provers=num_provers, group=group, nb_override=nb_override
+        )
+    return ProtocolEngine(
+        params,
+        plan=query.build_plan(),
+        provers=provers,
+        verifier=verifier,
+        rng=rng,
+        chunk_size=chunk_size,
+        retain_messages=retain_messages,
+    )
 
 
 @dataclass(frozen=True)
@@ -147,13 +191,12 @@ class Session:
         composed = isinstance(query, ComposedQuery)
         self._engines: list[tuple[Query, ProtocolEngine]] = []
         for index, subquery in enumerate(queries):
-            params = subquery.build_params(
-                num_provers=num_provers, group=group, nb_override=nb_override
-            )
             engine_rng = fork_rng(self.rng, f"query-{index}") if composed else self.rng
-            engine = ProtocolEngine(
-                params,
-                plan=subquery.build_plan(),
+            engine = build_engine(
+                subquery,
+                num_provers=num_provers,
+                group=group,
+                nb_override=nb_override,
                 rng=engine_rng,
                 chunk_size=chunk_size,
                 retain_messages=retain_messages,

@@ -456,6 +456,7 @@ def run_multiexp(
     *,
     sizes: tuple[int, ...] = (1, 2, 4, 8, 16, 32, 64, 256, 1024, 4096),
     wide_sizes: tuple[int, ...] = (2, 8, 32),
+    signed_sizes: tuple[int, ...] = (1024, 4096),
     seed: str = "multiexp",
     emit_json: bool = True,
 ) -> list[dict]:
@@ -464,10 +465,54 @@ def run_multiexp(
     Times all three tiers per batch size on the 128-bit Schnorr
     simulation group (plus a few sizes on production modp-2048), reports
     the automatic selection, and emits ``BENCH_multiexp.json`` — the
-    regression evidence behind the verifier's batched hot path.
-    """
-    from repro.crypto.multiexp import multi_exponentiation, select_algorithm
+    regression evidence behind the verifier's batched hot path *and* the
+    measured calibration :mod:`repro.crypto.multiexp` auto-tunes its
+    crossovers and Straus windows from (rows carry the exponent width;
+    extra row kinds: ``straus-window`` sweeps the wNAF width,
+    ``pippenger-variants`` compares signed-digit vs unsigned buckets —
+    signed wins where negation is free, i.e. on the curve backends, while
+    unsigned holds on the integer backends where negation is a batched
+    modular inversion worth ~3 multiplications per base).
 
+    Calibration is *disabled for the duration of the sweep*: the rows
+    must measure the uncalibrated defaults, or a stale checked-in file's
+    tuning (a noisy window width, another machine's crossovers) would
+    contaminate its own replacement and self-perpetuate.
+    """
+    from repro.crypto import multiexp as multiexp_mod
+    from repro.crypto.multiexp import (
+        _straus,
+        kernel_for,
+        multi_exponentiation,
+        select_algorithm,
+    )
+    from repro.crypto.ristretto import RistrettoGroup
+
+    held_env = os.environ.get("REPRO_MULTIEXP_CALIBRATION")
+    os.environ["REPRO_MULTIEXP_CALIBRATION"] = "0"
+    multiexp_mod._reset_calibration()
+    try:
+        rows = _run_multiexp_sweep(
+            sizes, wide_sizes, signed_sizes, seed,
+            _straus, kernel_for, multi_exponentiation, select_algorithm,
+            RistrettoGroup,
+        )
+    finally:
+        if held_env is None:
+            os.environ.pop("REPRO_MULTIEXP_CALIBRATION", None)
+        else:
+            os.environ["REPRO_MULTIEXP_CALIBRATION"] = held_env
+        multiexp_mod._reset_calibration()
+    if emit_json:
+        write_bench_json("multiexp", rows)
+    return rows
+
+
+def _run_multiexp_sweep(
+    sizes, wide_sizes, signed_sizes, seed,
+    _straus, kernel_for, multi_exponentiation, select_algorithm,
+    RistrettoGroup,
+) -> list[dict]:
     rows: list[dict] = []
     for group_name, group_sizes, budget in (
         ("p128-sim", sizes, 256),
@@ -483,11 +528,13 @@ def run_multiexp(
             row: dict = {
                 "group": group_name,
                 "n": n,
+                "bits": bits,
                 "selected": select_algorithm(
                     n,
                     bits,
                     native_pow=kernel.native_pow,
                     op_overhead=kernel.op_overhead,
+                    neg_muls=kernel.neg_muls,
                 ),
             }
             for algorithm in ("naive", "straus", "pippenger"):
@@ -500,8 +547,59 @@ def run_multiexp(
                 min(row["straus_ms"], row["pippenger_ms"]), 1e-9
             )
             rows.append(row)
-    if emit_json:
-        write_bench_json("multiexp", rows)
+
+        # Straus wNAF width sweep: feeds the window auto-tuner.
+        window_n = 16
+        bases = [group.random_element(rng) for _ in range(window_n)]
+        exps = [rng.field_element(group.order) for _ in range(window_n)]
+        bits = max(e.bit_length() for e in exps)
+        raw_bases = [kernel.to_raw(base) for base in bases]
+        for window in (3, 4, 5, 6):
+            reps = max(1, budget // window_n)
+            start = time.perf_counter()
+            for _ in range(reps):
+                _straus(kernel, raw_bases, exps, window)
+            rows.append(
+                {
+                    "group": group_name,
+                    "kind": "straus-window",
+                    "n": window_n,
+                    "bits": bits,
+                    "window": window,
+                    "ms": (time.perf_counter() - start) / reps * 1e3,
+                }
+            )
+
+    # Signed-digit vs unsigned Pippenger buckets, per backend class.
+    for group, group_sizes, reps in (
+        (SchnorrGroup.named("p128-sim"), signed_sizes, 3),
+        (RistrettoGroup.instance(), signed_sizes[:1], 1),
+    ):
+        kernel = kernel_for(group)
+        rng = SeededRNG(f"{seed}-signed-{group.name}")
+        for n in group_sizes:
+            bases = [group.random_element(rng) for _ in range(n)]
+            exps = [rng.field_element(group.order) for _ in range(n)]
+            bits = max(e.bit_length() for e in exps)
+            timings = {}
+            for variant in ("pippenger-unsigned", "pippenger-signed"):
+                start = time.perf_counter()
+                for _ in range(reps):
+                    multi_exponentiation(group, bases, exps, algorithm=variant)
+                timings[variant] = (time.perf_counter() - start) / reps * 1e3
+            rows.append(
+                {
+                    "group": group.name,
+                    "kind": "pippenger-variants",
+                    "n": n,
+                    "bits": bits,
+                    "neg_muls": kernel.neg_muls,
+                    "unsigned_ms": timings["pippenger-unsigned"],
+                    "signed_ms": timings["pippenger-signed"],
+                    "signed_speedup": timings["pippenger-unsigned"]
+                    / max(timings["pippenger-signed"], 1e-9),
+                }
+            )
     return rows
 
 

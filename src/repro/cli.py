@@ -44,6 +44,14 @@ def _serve_parser() -> argparse.ArgumentParser:
         help="node substrate: threads over the in-memory bus, pipes, or TCP",
     )
     parser.add_argument("--servers", type=int, default=2, help="prover count K")
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        help="verification shard workers S (0 = single front-end); the "
+        "client stream and coin chunks are partitioned across S workers "
+        "and the merged release stays byte-identical to unsharded",
+    )
     parser.add_argument("--clients", type=int, default=8, help="client count n")
     parser.add_argument("--nb", type=int, default=64, help="noise coins per prover")
     parser.add_argument("--bins", type=int, default=1, help=">1 runs a histogram query")

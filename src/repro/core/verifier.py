@@ -57,7 +57,7 @@ from repro.crypto.sigma.batch import GAMMA_BITS, SigmaBatch
 from repro.crypto.sigma.bitvec import BitVectorProof, verify_bit_vector
 from repro.crypto.sigma.onehot import OneHotProof, verify_one_hot
 from repro.crypto.sigma.or_bit import BitProof, verify_bit
-from repro.errors import ParameterError, VerificationError
+from repro.errors import EncodingError, ParameterError, VerificationError
 from repro.mpc.morra import MorraParticipant
 from repro.utils.rng import RNG, SystemRNG
 
@@ -256,6 +256,57 @@ class PublicVerifier(MorraParticipant):
             batch.add_one_hot(derived, broadcast.validity_proof, transcript)
         else:
             batch.add_bit_vector(derived, broadcast.validity_proof, transcript)
+
+    # Shard-mergeable client state -------------------------------------------
+    #
+    # A sharded front-end (repro.net.shard) partitions the client stream
+    # across S workers, each of which runs validate_clients +
+    # fold_client_commitments on its own PublicVerifier.  These helpers
+    # are the merge half: verdicts re-enter the analyst's audit record in
+    # global submission order, and the per-(prover, coordinate) products
+    # — abelian, so grouping is irrelevant — multiply together.
+
+    def record_client_verdicts(self, verdicts) -> list[str]:
+        """Adopt externally computed (client_id, status) verdicts in order.
+
+        Returns the ids recorded VALID, preserving submission order —
+        exactly what :meth:`validate_clients` would have returned had the
+        proofs been checked here.
+        """
+        valid: list[str] = []
+        for client_id, status in verdicts:
+            self.audit.clients[client_id] = status
+            if status is ClientStatus.VALID:
+                valid.append(client_id)
+        return valid
+
+    def merge_client_products(
+        self, partial: list[list[GroupElement | None]]
+    ) -> None:
+        """Fold one shard's per-(prover, coordinate) commitment products
+        into the running products the streamed Line 13 check consumes."""
+        params = self.params
+        if len(partial) != params.num_provers or any(
+            len(row) != params.dimension for row in partial
+        ):
+            raise ParameterError("partial client products have the wrong shape")
+        if self._client_products is None:
+            self._client_products = [
+                [None] * params.dimension for _ in range(params.num_provers)
+            ]
+        for held_row, partial_row in zip(self._client_products, partial):
+            for m, element in enumerate(partial_row):
+                if element is None:
+                    continue
+                held = held_row[m]
+                held_row[m] = element if held is None else held * element
+
+    def client_products(self) -> list[list[GroupElement | None]]:
+        """The running per-(prover, coordinate) products (shard export)."""
+        params = self.params
+        if self._client_products is None:
+            return [[None] * params.dimension for _ in range(params.num_provers)]
+        return [list(row) for row in self._client_products]
 
     def fold_client_commitments(
         self, broadcasts: list[ClientBroadcast], valid_ids: list[str]
@@ -519,6 +570,12 @@ class PublicVerifier(MorraParticipant):
                 f"incomplete coin stream ({stream.received}/{self.params.nb} coins)",
             )
             return False
+        self._adjusted_products[prover_id] = self._materialize_line12(stream)
+        del self._coin_streams[prover_id]
+        return True
+
+    def _materialize_line12(self, stream: _CoinStream) -> list[Commitment]:
+        """Per-lane ĉ' product Com(k₁, 0)·Π_keep/Π_flip from fold state."""
         pedersen = self.params.pedersen
         products: list[Commitment] = []
         for lane in range(stream.lanes):
@@ -531,9 +588,60 @@ class PublicVerifier(MorraParticipant):
                 constant = pedersen.commitment_to_constant(stream.flips[lane])
                 element = constant.element * element / stream.flip[lane]
             products.append(Commitment(element))
-        self._adjusted_products[prover_id] = products
-        del self._coin_streams[prover_id]
+        return products
+
+    # Shard-mergeable coin state ---------------------------------------------
+    #
+    # One prover's chunked stream can be verified by S shard workers: the
+    # evolving Fiat–Shamir transcript is a deterministic function of the
+    # public frames alone, so every shard fast-forwards the chunks it
+    # does not own (pure hashing) and pays the RLC multi-exponentiation
+    # only for its own.  The Line 12 fold Com(k₁,0)·Π_keep/Π_flip is a
+    # product of per-chunk factors in an abelian group, so per-shard
+    # partial products multiply into exactly the unsharded value.
+
+    def skip_coin_chunk(self, prover_id: str, frame: bytes, rows: int) -> bool:
+        """Fast-forward a stream over a chunk another shard verifies.
+
+        ``frame`` is the chunk's wire encoding; the transcript absorbs
+        element encodings verbatim, so the replay is pure length-prefix
+        parsing plus hashing — no decoding, no group operations.
+        Returns False (and fails the stream, with an audit note) when the
+        frame cannot even be parsed.
+        """
+        from repro.crypto.serialization import advance_coin_transcript_frame
+
+        stream = self._stream_for(prover_id)
+        if stream.failed:
+            return False
+        try:
+            advance_coin_transcript_frame(self.params, stream.transcript, frame)
+        except (EncodingError, ValueError) as exc:
+            stream.failed = True
+            self._reject_coins(prover_id, f"undecodable chunk in stream: {exc}")
+            return False
+        stream.received += rows
         return True
+
+    def partial_adjusted_products(self, prover_id: str) -> tuple[bool, list[Commitment]]:
+        """One shard's Line 12 contribution: (stream healthy, per-lane
+        partials).  Unlike :meth:`finish_coin_stream` there is no
+        completeness check — a shard only ever sees its own chunks' folds
+        — and the stream stays open."""
+        stream = self._stream_for(prover_id)
+        if stream.failed or stream.pending:
+            return False, []
+        return True, self._materialize_line12(stream)
+
+    def install_adjusted_products(
+        self, prover_id: str, products: list[Commitment]
+    ) -> None:
+        """Adopt merged Line 12 products computed by shard workers, in
+        place of a locally run :meth:`finish_coin_stream`."""
+        if len(products) != self.lanes:
+            raise ParameterError("adjusted products do not match the plan's lanes")
+        self._adjusted_products[prover_id] = list(products)
+        self._coin_streams.pop(prover_id, None)
 
     # Phase 3/4: Morra results and the Line 12 update -------------------------
 

@@ -26,17 +26,40 @@ thousands of terms.  No one algorithm is right across that range, so
 ``pippenger``
     Pippenger's bucket method: per c-bit window, throw each base into the
     bucket of its digit (one multiplication per base per window — no
-    per-base tables at all), then fold the 2^c buckets with a running
-    sum.  Cost ≈ ceil(b/c)·(n + 2^(c+1)) multiplications, so for large n
-    the marginal cost per base approaches b/c multiplications — the
-    asymptotically right algorithm once a batch has thousands of bases.
+    per-base tables at all), then fold the buckets with a running sum.
+    Two digit decompositions exist side by side:
+
+    * **unsigned** — digits in [0, 2^c); 2^c − 1 buckets per window;
+      cost ≈ ceil(b/c)·(n + 2^(c+1)) multiplications.
+    * **signed** (2^c-ary NAF) — digits in [−2^(c−1), 2^(c−1)), realized
+      by adding the constant offset H = Σ_w 2^(c−1)·2^(cw) to every
+      exponent once and subtracting 2^(c−1) from each extracted digit
+      (no per-window carry propagation).  Buckets are shared between ±d
+      (a negative digit files the *negated* base, from one up-front
+      ``neg_many`` pass), so each window needs only 2^(c−1) buckets —
+      half the fold — which lets c grow by ~1 and cuts the window count:
+      cost ≈ (ceil(b/c)+1)·(n + 2^c) + neg·n.
+
+    The ``neg`` term is the whole story of which variant wins.  On the
+    curve backends negation is a coordinate flip (neg ≈ 0) and signed
+    digits are a measured ~1.1–1.2× at n ≥ 1024.  On the Schnorr integer
+    backends "negation" is a modular inversion — 3 multiplications per
+    base even with Montgomery batching — which almost exactly cancels
+    the saved windows (Δwindows·n ≈ 3n multiplications), so unsigned
+    buckets stay faster and the selector keeps them.  The kernel hint
+    ``neg_muls`` (multiplications per negation) feeds this decision.
 
 Selection is automatic from the cost model in :func:`select_algorithm`,
-calibrated in units of one group multiplication with two backend hints
+calibrated in units of one group multiplication with three backend hints
 from the kernel: whether single exponentiation is CPython's C ``pow``
 (≈ bits multiplication-units per call — measured 37 µs ≈ 123 modmuls on
-p128-sim) and how expensive Python loop bookkeeping is relative to one
-group op.  Measured crossover points (CPython, full-width exponents; see
+p128-sim), how expensive Python loop bookkeeping is relative to one
+group op, and the negation cost above.  When a measured
+``BENCH_multiexp.json`` is present (repo root, cwd or
+``$REPRO_BENCH_DIR``), per-group crossovers and Straus window widths are
+*auto-tuned from its rows* instead of the hand-picked constants — see
+:func:`_calibration`; with no file the constants below apply.  Measured
+crossover points (CPython, full-width exponents; see
 ``benchmarks/bench_multiexp.py`` and the checked-in
 ``BENCH_multiexp.json``):
 
@@ -64,6 +87,9 @@ kernel fall back to a generic kernel over ``GroupElement`` objects.
 
 from __future__ import annotations
 
+import json
+import os
+from pathlib import Path
 from typing import Sequence
 
 from repro.crypto.group import Group, GroupElement
@@ -78,7 +104,8 @@ __all__ = [
     "dual_power",
 ]
 
-# Straus' per-base wNAF window width, by max exponent bit length.
+# Straus' per-base wNAF window width, by max exponent bit length — the
+# fallback when no measured calibration (BENCH_multiexp.json) is found.
 _STRAUS_WINDOWS = ((64, 3), (256, 4), (1 << 30, 5))
 
 
@@ -103,6 +130,11 @@ class GenericKernel:
 
     native_pow = False
     op_overhead = 0.1
+    # Cost of one negation in group-multiplication units.  Generic
+    # backends go through GroupElement.invert, which may be a full
+    # modular inversion — keep signed buckets off unless a kernel says
+    # negation is cheap (curves: ~0; Schnorr ints: ~3 via batching).
+    neg_muls = 8.0
 
     def __init__(self, group: Group) -> None:
         self.identity_raw = group.identity()
@@ -162,44 +194,216 @@ def _straus_cost(n: int, bits: int, window: int, overhead: float) -> float:
     return 1.5 * bits + tables + hits
 
 
-def _pippenger_window(n: int, bits: int) -> int:
+def _pippenger_cost(
+    n: int, bits: int, c: int, *, signed: bool = False, neg_muls: float = 0.0
+) -> float:
+    """Modeled multiplications for one bucket-method run at window c.
+
+    Unsigned: ceil(b/c) windows, 2^c − 1 buckets folded at ~2 muls each.
+    Signed: one extra window (the digit-offset carry-out), half the
+    buckets, plus ``neg_muls`` per base for the one-time negation pass.
+    """
+    if signed:
+        nwin = -(-bits // c) + 1
+        return nwin * (n + (1 << c) + 2) + bits + (neg_muls + 0.3) * n
+    nwin = -(-bits // c)
+    return nwin * (n + (1 << (c + 1)) + 2) + bits
+
+
+def _pippenger_window(
+    n: int, bits: int, *, signed: bool = False, neg_muls: float = 0.0
+) -> int:
     best_c, best_cost = 1, float("inf")
-    for c in range(1, 22):
-        nwin = -(-bits // c)
-        cost = nwin * (n + (1 << (c + 1)) + 2) + bits
+    for c in range(1 + (1 if signed else 0), 22):
+        cost = _pippenger_cost(n, bits, c, signed=signed, neg_muls=neg_muls)
         if cost < best_cost:
             best_c, best_cost = c, cost
     return best_c
 
 
-def _pippenger_cost(n: int, bits: int, c: int) -> float:
-    nwin = -(-bits // c)
-    return nwin * (n + (1 << (c + 1)) + 2) + bits
+def _pippenger_variant(n: int, bits: int, neg_muls: float) -> tuple[str, float]:
+    """The cheaper bucket decomposition for this (n, bits, negation cost).
+
+    Returns ("pippenger-signed" | "pippenger-unsigned", modeled cost).
+    Curve kernels (neg_muls ≈ 0) get signed digits from medium n; the
+    Schnorr integer kernels (neg_muls ≈ 3) keep unsigned buckets — the
+    batched-inversion negation eats the saved windows.
+    """
+    unsigned = _pippenger_cost(n, bits, _pippenger_window(n, bits))
+    signed = _pippenger_cost(
+        n,
+        bits,
+        _pippenger_window(n, bits, signed=True, neg_muls=neg_muls),
+        signed=True,
+        neg_muls=neg_muls,
+    )
+    if signed < unsigned:
+        return "pippenger-signed", signed
+    return "pippenger-unsigned", unsigned
 
 
-def _straus_window(bits: int) -> int:
+def _straus_window(bits: int, group_name: str | None = None) -> int:
+    windows = _calibration().get(group_name, {}).get("straus_windows") if group_name else None
+    if windows:
+        # Measured best width for the nearest calibrated bit length.
+        best = min(windows, key=lambda entry: abs(entry[0] - bits))
+        if 0.5 <= best[0] / max(bits, 1) <= 2.0:
+            return best[1]
     for limit, window in _STRAUS_WINDOWS:
         if bits <= limit:
             return window
     return _STRAUS_WINDOWS[-1][1]  # pragma: no cover - table covers all bits
 
 
+# Measured calibration (auto-tuning) ----------------------------------------
+#
+# When a BENCH_multiexp.json produced by ``python -m repro multiexp`` (or
+# ``benchmarks/bench_multiexp.py``) is on disk, its measured rows replace
+# the hand-picked crossover thresholds and Straus window widths for the
+# groups it covers.  The loader is deliberately forgiving: a missing,
+# stale or malformed file silently falls back to the cost-model
+# constants, and rows are only trusted for exponent widths within 2× of
+# the measured width.
+
+_CALIBRATION: dict | None = None
+
+
+def _calibration_path() -> Path | None:
+    env = os.environ.get("REPRO_BENCH_DIR")
+    candidates = [Path(env)] if env else []
+    candidates.append(Path.cwd())
+    candidates.append(Path(__file__).resolve().parents[3])
+    for directory in candidates:
+        path = directory / "BENCH_multiexp.json"
+        try:
+            if path.is_file():
+                return path
+        except OSError:  # pragma: no cover - unreadable mount
+            continue
+    return None
+
+
+def _calibration() -> dict:
+    """Per-group tuning derived from measured BENCH_multiexp.json rows.
+
+    Returns ``{group_name: {"naive_max", "straus_max", "bits",
+    "straus_windows"}}`` — empty when no usable file exists.  Set
+    ``REPRO_MULTIEXP_CALIBRATION=0`` to disable (tests of the pure cost
+    model do).
+    """
+    global _CALIBRATION
+    if _CALIBRATION is not None:
+        return _CALIBRATION
+    if os.environ.get("REPRO_MULTIEXP_CALIBRATION", "1") == "0":
+        _CALIBRATION = {}
+        return _CALIBRATION
+    path = _calibration_path()
+    rows: list[dict] = []
+    if path is not None:
+        try:
+            payload = json.loads(path.read_text())
+            rows = payload.get("rows", [])
+        except (OSError, ValueError):
+            rows = []
+    tuned: dict[str, dict] = {}
+    for row in rows:
+        group = row.get("group")
+        bits = row.get("bits")
+        if not isinstance(group, str) or not isinstance(bits, int):
+            continue
+        entry = tuned.setdefault(
+            group,
+            {
+                "bits": bits,
+                "naive_max": 0,
+                "straus_max": 0,
+                "measured_max": 0,
+                "straus_windows": [],
+                "has_crossover": False,
+            },
+        )
+        if row.get("kind") == "straus-window":
+            window, ms = row.get("window"), row.get("ms")
+            if isinstance(window, int) and isinstance(ms, (int, float)):
+                entry["straus_windows"].append((bits, window, ms))
+            continue
+        n = row.get("n")
+        timings = {
+            tier: row.get(f"{tier}_ms") for tier in ("naive", "straus", "pippenger")
+        }
+        if not isinstance(n, int) or not all(
+            isinstance(ms, (int, float)) for ms in timings.values()
+        ):
+            continue
+        entry["has_crossover"] = True
+        entry["measured_max"] = max(entry["measured_max"], n)
+        if timings["naive"] <= min(timings["straus"], timings["pippenger"]):
+            entry["naive_max"] = max(entry["naive_max"], n)
+        if timings["straus"] < timings["pippenger"]:
+            entry["straus_max"] = max(entry["straus_max"], n)
+    for entry in tuned.values():
+        # Best measured window per calibrated bit length.
+        best: dict[int, tuple[int, float]] = {}
+        for bits, window, ms in entry["straus_windows"]:
+            held = best.get(bits)
+            if held is None or ms < held[1]:
+                best[bits] = (window, ms)
+        entry["straus_windows"] = [(bits, w) for bits, (w, _) in sorted(best.items())]
+        entry["straus_max"] = max(entry["straus_max"], entry["naive_max"])
+    _CALIBRATION = tuned
+    return _CALIBRATION
+
+
+def _reset_calibration() -> None:
+    """Drop the cached calibration (tests poke the environment)."""
+    global _CALIBRATION
+    _CALIBRATION = None
+
+
 def select_algorithm(
-    n: int, bits: int, *, native_pow: bool = True, op_overhead: float = 1.3
+    n: int,
+    bits: int,
+    *,
+    native_pow: bool = True,
+    op_overhead: float = 1.3,
+    neg_muls: float | None = None,
+    group_name: str | None = None,
 ) -> str:
     """Pick the cheapest tier for ``n`` pairs of ``bits``-bit exponents.
 
     Returns ``"naive"``, ``"straus"`` or ``"pippenger"``.  The defaults
     describe the 128-bit Schnorr simulation groups; callers with a group
     in hand should let :func:`multi_exponentiation` pass the kernel's own
-    ``native_pow`` / ``op_overhead`` hints.  Exposed so the benchmarks
-    (and curious tests) can introspect the crossover points.
+    ``native_pow`` / ``op_overhead`` / ``neg_muls`` hints.  When
+    ``group_name`` names a group covered by the measured calibration
+    (see :func:`_calibration`), the measured crossovers decide instead of
+    the cost model.  Exposed so the benchmarks (and curious tests) can
+    introspect the crossover points.
     """
     if n <= 1 or bits <= 1:
         return "naive"
+    if group_name is not None:
+        tuned = _calibration().get(group_name)
+        if (
+            tuned
+            and tuned["has_crossover"]
+            and 0.5 <= tuned["bits"] / max(bits, 1) <= 2.0
+            # Interpolation only, never extrapolation: past the largest
+            # measured batch size the rows say nothing about crossovers
+            # (e.g. a sweep whose top row still has Straus winning must
+            # not be read as "Pippenger from here on"), so the cost
+            # model decides there.
+            and n <= tuned["measured_max"]
+        ):
+            if n <= tuned["naive_max"]:
+                return "naive"
+            return "straus" if n <= tuned["straus_max"] else "pippenger"
     naive = n * bits * (1.0 if native_pow else 1.3)
     straus = _straus_cost(n, bits, _straus_window(bits), op_overhead)
-    pippenger = _pippenger_cost(n, bits, _pippenger_window(n, bits))
+    if neg_muls is None:
+        pippenger = _pippenger_cost(n, bits, _pippenger_window(n, bits))
+    else:
+        pippenger = _pippenger_variant(n, bits, neg_muls)[1]
     best = min(naive, straus, pippenger)
     if best == naive:
         return "naive"
@@ -285,7 +489,25 @@ def _straus(kernel, raw_bases: list, exps: list[int], window: int) -> object:
     return acc if acc is not None else kernel.identity_raw
 
 
+def _fold_buckets(mul, buckets: list, top: int):
+    """Σ d·B_d over buckets[1..top], highest digit first.
+
+    running = Σ_{j>=d} B_j; adding the running sum once per step weights
+    each bucket by its digit.
+    """
+    running = None
+    window_sum = None
+    for d in range(top, 0, -1):
+        held = buckets[d]
+        if held is not None:
+            running = held if running is None else mul(running, held)
+        if running is not None:
+            window_sum = running if window_sum is None else mul(window_sum, running)
+    return window_sum
+
+
 def _pippenger(kernel, raw_bases: list, exps: list[int], bits: int) -> object:
+    """Unsigned bucket decomposition: digits in [0, 2^c), 2^c − 1 buckets."""
     mul, sqr = kernel.mul, kernel.sqr
     n = len(raw_bases)
     c = _pippenger_window(n, bits)
@@ -303,16 +525,54 @@ def _pippenger(kernel, raw_bases: list, exps: list[int], bits: int) -> object:
             if d:
                 held = buckets[d]
                 buckets[d] = raw if held is None else mul(held, raw)
-        # Fold buckets highest-first: running = Σ_{j>=d} B_j, and adding the
-        # running sum once per step weights each bucket by its digit.
-        running = None
-        window_sum = None
-        for d in range(mask, 0, -1):
-            held = buckets[d]
-            if held is not None:
-                running = held if running is None else mul(running, held)
-            if running is not None:
-                window_sum = running if window_sum is None else mul(window_sum, running)
+        window_sum = _fold_buckets(mul, buckets, mask)
+        if window_sum is not None:
+            acc = window_sum if acc is None else mul(acc, window_sum)
+    return acc if acc is not None else kernel.identity_raw
+
+
+def _pippenger_signed(kernel, raw_bases: list, exps: list[int], bits: int) -> object:
+    """Signed-digit (2^c-ary NAF) buckets: digits in [−2^(c−1), 2^(c−1)).
+
+    The recoding is offset-based, not carry-based: adding
+    H = Σ_w 2^(c−1)·2^(cw) to every exponent once turns each unsigned
+    digit d' of e + H into the signed digit d = d' − 2^(c−1) of e, so the
+    per-window extraction is the same shift-and-mask as the unsigned loop
+    plus one subtraction.  A negative digit files the *negated* base —
+    one up-front ``neg_many`` pass, batched (free coordinate flips on the
+    curve kernels, one Montgomery batch inversion on the Schnorr
+    kernels) — into the bucket of |d|, halving the bucket count per
+    window and shaving the window count via the wider c this affords.
+    """
+    mul, sqr = kernel.mul, kernel.sqr
+    n = len(raw_bases)
+    c = _pippenger_window(
+        n, bits, signed=True, neg_muls=getattr(kernel, "neg_muls", 8.0)
+    )
+    half = 1 << (c - 1)
+    mask = (1 << c) - 1
+    nwin = -(-bits // c) + 1  # the offset's carry-out needs one top window
+    offset = 0
+    for _ in range(nwin):
+        offset = (offset << c) | half
+    shifted = [e + offset for e in exps]
+    neg_bases = kernel.neg_many(list(raw_bases))
+    acc = None
+    for win in range(nwin - 1, -1, -1):
+        if acc is not None:
+            for _ in range(c):
+                acc = sqr(acc)
+        shift = win * c
+        buckets: list = [None] * (half + 1)
+        for raw, neg, e in zip(raw_bases, neg_bases, shifted):
+            d = ((e >> shift) & mask) - half
+            if d > 0:
+                held = buckets[d]
+                buckets[d] = raw if held is None else mul(held, raw)
+            elif d:
+                held = buckets[-d]
+                buckets[-d] = neg if held is None else mul(held, neg)
+        window_sum = _fold_buckets(mul, buckets, half)
         if window_sum is not None:
             acc = window_sum if acc is None else mul(acc, window_sum)
     return acc if acc is not None else kernel.identity_raw
@@ -334,13 +594,22 @@ def multi_exponentiation(
 
     Exponents are reduced mod the group order (so negative exponents are
     fine) and zero-exponent pairs are dropped before selection.  Pass
-    ``algorithm`` ("naive" / "straus" / "pippenger") to override the
-    automatic choice — used by the crossover benchmarks and the
-    equivalence tests.
+    ``algorithm`` ("naive" / "straus" / "pippenger", or the explicit
+    bucket variants "pippenger-signed" / "pippenger-unsigned") to
+    override the automatic choice — used by the crossover benchmarks and
+    the equivalence tests.  Plain "pippenger" still picks the cheaper
+    digit decomposition for the backend's negation cost.
     """
     if len(bases) != len(exponents):
         raise ParameterError("bases and exponents length mismatch")
-    if algorithm not in (None, "naive", "straus", "pippenger"):
+    if algorithm not in (
+        None,
+        "naive",
+        "straus",
+        "pippenger",
+        "pippenger-signed",
+        "pippenger-unsigned",
+    ):
         raise ParameterError(f"unknown multiexp algorithm {algorithm!r}")
     order = group.order
     live_bases: list[GroupElement] = []
@@ -355,19 +624,27 @@ def multi_exponentiation(
 
     bits = max(e.bit_length() for e in live_exps)
     kernel = kernel_for(group)
+    neg_muls = getattr(kernel, "neg_muls", 8.0)
     if algorithm is None:
         algorithm = select_algorithm(
             len(live_bases),
             bits,
             native_pow=getattr(kernel, "native_pow", False),
             op_overhead=getattr(kernel, "op_overhead", 0.1),
+            neg_muls=neg_muls,
+            group_name=getattr(group, "name", None),
         )
 
     if algorithm == "naive":
         return _naive(group, live_bases, live_exps)
+    group_name = getattr(group, "name", None)
+    if algorithm == "pippenger":
+        algorithm = _pippenger_variant(len(live_bases), bits, neg_muls)[0]
     raw_bases = [kernel.to_raw(base) for base in live_bases]
     if algorithm == "straus":
-        raw = _straus(kernel, raw_bases, live_exps, _straus_window(bits))
+        raw = _straus(kernel, raw_bases, live_exps, _straus_window(bits, group_name))
+    elif algorithm == "pippenger-signed":
+        raw = _pippenger_signed(kernel, raw_bases, live_exps, bits)
     else:
         raw = _pippenger(kernel, raw_bases, live_exps, bits)
     return kernel.from_raw(raw)

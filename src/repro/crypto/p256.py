@@ -172,6 +172,7 @@ class _P256Kernel:
 
     native_pow = False  # scalar mult is a Python double-and-add
     op_overhead = 0.1  # Jacobian adds are ~12 field muls; bookkeeping is noise
+    neg_muls = 0.05  # negation flips the Jacobian y — effectively free
 
     def __init__(self, group: "P256Group") -> None:
         self._group = group

@@ -232,6 +232,7 @@ class _RistrettoKernel:
 
     native_pow = False  # scalar mult is a Python double-and-add
     op_overhead = 0.1  # ~10 field muls per group op dwarf loop bookkeeping
+    neg_muls = 0.05  # negation flips two coordinates — effectively free
 
     def __init__(self, group: "RistrettoGroup") -> None:
         self._group = group

@@ -113,6 +113,10 @@ class _SchnorrKernel:
     __slots__ = ("_group", "_p", "identity_raw", "op_overhead")
 
     native_pow = True  # SchnorrElement.scale is CPython's C `pow`
+    # Negation is a modular inversion: ~3 multiplications per element
+    # even via batch_inverse, which is why signed-digit Pippenger does
+    # not pay on this backend (see repro.crypto.multiexp).
+    neg_muls = 3.2
 
     def __init__(self, group: "SchnorrGroup") -> None:
         self._group = group

@@ -18,6 +18,7 @@ verification is still the caller's job.
 from __future__ import annotations
 
 import struct
+import weakref
 
 from repro.crypto.group import Group
 from repro.crypto.pedersen import Commitment
@@ -51,7 +52,10 @@ __all__ = [
     "encode_opening_proof",
     "decode_opening_proof",
     "encode_message",
+    "encode_message_cached",
     "decode_message",
+    "advance_coin_transcript",
+    "advance_coin_transcript_frame",
     "wire_size",
     "WIRE_MAGIC",
 ]
@@ -597,6 +601,109 @@ def encode_message(message) -> bytes:
     return encode_length_prefixed(WIRE_MAGIC, tag, encode_body(message))
 
 
+# Coin-transcript fast-forward ------------------------------------------------
+#
+# A chunked coin stream's evolving Fiat–Shamir transcript is a
+# deterministic function of the public messages alone — absorb pp, the
+# commitment and both announcements, extract (and discard) the
+# challenge; no group exponentiations.  These helpers replay that
+# evolution without verifying, which is what lets chunk workers and
+# shard peers (repro.net.workers / repro.net.shard) hold the correct
+# transcript state for chunks they do not check.  They live here, next
+# to the coin-message codec, because the byte-level variant mirrors its
+# frame layout — a format change must touch both together.
+
+
+def advance_coin_transcript(params, transcript, message) -> None:
+    """Fast-forward a coin transcript over one message without verifying.
+
+    Mirrors exactly the transcript mutations of
+    :func:`repro.crypto.sigma.or_bit.verify_bit` — bind pp and the
+    commitment, absorb both announcements, extract (and discard) the
+    challenge — so a later chunk's verification starts from the identical
+    state, at pure hashing cost.
+    """
+    pedersen = params.pedersen
+    pp = pedersen.transcript_bytes()
+    for c_row, p_row in zip(message.commitments, message.proofs):
+        for commitment, proof in zip(c_row, p_row):
+            transcript.append_bytes("pp", pp)
+            transcript.append_element("bit-commitment", commitment.element)
+            transcript.append_element("d0", proof.d0)
+            transcript.append_element("d1", proof.d1)
+            transcript.challenge_scalar("or-challenge", pedersen.q)
+
+
+def advance_coin_transcript_frame(params, transcript, frame: bytes) -> None:
+    """Fast-forward over a *wire frame* without decoding group elements.
+
+    The transcript absorbs element encodings verbatim, and the frame
+    already carries each element's canonical bytes — so prefix chunks can
+    be replayed by pure length-prefix parsing plus hashing, skipping the
+    per-element membership exponentiations entirely.  This is what makes
+    chunk workers cheap: the expensive validation runs exactly once, in
+    the worker that owns the chunk.
+    """
+    outer = decode_length_prefixed(frame)
+    if len(outer) != 3:
+        raise EncodingError("not a wire frame")
+    body = decode_length_prefixed(outer[2])
+    if len(body) < 3:
+        raise EncodingError("not a coin message frame")
+    rows = int.from_bytes(body[1], "big")
+    lanes = int.from_bytes(body[2], "big")
+    total = rows * lanes
+    if len(body) != 3 + 2 * total:
+        raise EncodingError("coin message frame shape mismatch")
+    pedersen = params.pedersen
+    pp = pedersen.transcript_bytes()
+    commitments = body[3 : 3 + total]
+    proofs = body[3 + total :]
+    for commitment_bytes, proof_frame in zip(commitments, proofs):
+        proof_parts = decode_length_prefixed(proof_frame)
+        if len(proof_parts) != 7:
+            raise EncodingError("bit proof frame needs magic plus 6 fields")
+        transcript.append_bytes("pp", pp)
+        transcript.append_bytes("bit-commitment", commitment_bytes)
+        transcript.append_bytes("d0", proof_parts[1])
+        transcript.append_bytes("d1", proof_parts[2])
+        transcript.challenge_scalar("or-challenge", pedersen.q)
+
+
+# Encode-once fan-out cache ---------------------------------------------------
+#
+# A serving front-end ships the *same* message object to K servers or S
+# shards (a client broadcast into every share-check RPC, a coin chunk to
+# every shard), and the bus accounts its exact wire size on top — without
+# a cache that is K + 1 identical full encodings.  Message types are
+# frozen dataclasses, so caching by object identity is sound; weakref
+# finalizers evict entries when the message dies, keeping the table
+# bounded by the set of live messages.
+
+_ENCODE_CACHE: dict[int, tuple] = {}
+
+
+def encode_message_cached(message) -> bytes:
+    """Like :func:`encode_message`, memoized per live message object.
+
+    Byte-for-byte identical to :func:`encode_message` (the cache stores
+    its output verbatim), so traffic accounting is unchanged — only the
+    redundant re-encoding work disappears.  Unweakreferenceable payloads
+    fall back to plain encoding.
+    """
+    key = id(message)
+    entry = _ENCODE_CACHE.get(key)
+    if entry is not None and entry[0]() is message:
+        return entry[1]
+    data = encode_message(message)
+    try:
+        ref = weakref.ref(message, lambda _ref, _key=key: _ENCODE_CACHE.pop(_key, None))
+    except TypeError:  # pragma: no cover - all registry types support weakref
+        return data
+    _ENCODE_CACHE[key] = (ref, data)
+    return data
+
+
 def decode_message(group: Group, data: bytes):
     """Decode a frame produced by :func:`encode_message`.
 
@@ -626,4 +733,10 @@ def wire_size(message) -> int | None:
     _, tags = _registry()
     if type(message) not in tags:
         return None
+    # Reuse a fan-out-cached encoding when one exists, but never insert:
+    # sizing must not pin a retained message's multi-KB frame for the
+    # message's lifetime (buffered sessions keep every message queued).
+    entry = _ENCODE_CACHE.get(id(message))
+    if entry is not None and entry[0]() is message:
+        return len(entry[1])
     return len(encode_message(message))

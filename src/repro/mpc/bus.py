@@ -11,8 +11,14 @@ pair — the model every protocol in the paper assumes.  Traffic accounting
 is *exact* for every message with a wire codec in
 :mod:`repro.crypto.serialization` (the full protocol message set of ΠBin):
 the payload's real encoded frame length is charged, so communication-cost
-numbers in benchmarks equal actual wire bytes.  Payloads without a codec
-fall back to a best-effort ``to_bytes``/``__len__`` estimate.
+numbers in benchmarks equal actual wire bytes.  Sizing reuses the
+encode-once fan-out cache (:func:`repro.crypto.serialization.
+encode_message_cached`, populated when a front-end ships the same
+message to K servers or S shard workers) whenever an encoding is
+already at hand, but never inserts into it — a buffered session retains
+its messages, and accounting must not pin every frame alongside them.
+The accounted byte counts are identical either way.  Payloads without a
+codec fall back to a best-effort ``to_bytes``/``__len__`` estimate.
 """
 
 from __future__ import annotations

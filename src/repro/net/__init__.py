@@ -17,6 +17,11 @@ This package closes that gap without touching the protocol engine:
   :class:`ClientRunner` (submits wire-encoded enrollments).
 * :mod:`repro.net.workers` — a process pool for parallel per-prover and
   per-chunk coin verification (the streams are embarrassingly parallel).
+* :mod:`repro.net.shard` — sharded serving: a :class:`ShardedAnalyst`
+  front-end partitions one client stream across S :class:`ShardWorker`
+  verification peers and merges their verdicts/products into a release
+  byte-identical to the unsharded path (``python -m repro serve
+  --shards S``).
 * :mod:`repro.net.serve` — the ``python -m repro serve`` demo driver: a
   full session as separate OS processes, byte-identical to the
   in-process path under seeded RNG.
@@ -24,6 +29,7 @@ This package closes that gap without touching the protocol engine:
 
 from repro.net.nodes import AnalystNode, ClientRunner, RemoteProver, ServerNode
 from repro.net.serve import run_distributed_session
+from repro.net.shard import ShardWorker, ShardedAnalyst
 from repro.net.transport import (
     InMemoryHub,
     InMemoryTransport,
@@ -46,5 +52,7 @@ __all__ = [
     "ClientRunner",
     "RemoteProver",
     "VerificationPool",
+    "ShardedAnalyst",
+    "ShardWorker",
     "run_distributed_session",
 ]

@@ -28,8 +28,9 @@ a malicious front-end cannot see the values it must commit against.
 
 from __future__ import annotations
 
-from repro.api.engine import EngineResult, ProtocolEngine, fork_rng
+from repro.api.engine import EngineResult, fork_rng
 from repro.api.queries import ComposedQuery, Query
+from repro.api.session import build_engine
 from repro.core.messages import (
     ClientBroadcast,
     ClientShareMessage,
@@ -40,7 +41,11 @@ from repro.core.messages import (
 from repro.core.params import PublicParams
 from repro.core.plan import AggregationPlan
 from repro.core.prover import Prover
-from repro.crypto.serialization import decode_message, encode_message
+from repro.crypto.serialization import (
+    decode_message,
+    encode_message,
+    encode_message_cached,
+)
 from repro.errors import (
     EncodingError,
     NotOnGroupError,
@@ -110,9 +115,11 @@ class RemoteProver(MorraParticipant):
         message: ClientShareMessage,
         prover_index: int,
     ) -> bool:
+        # The same broadcast goes into every prover's share-check RPC —
+        # the cached encoder makes that one encoding, not K.
         reply = self._call(
             "share-check",
-            encode_message(broadcast),
+            encode_message_cached(broadcast),
             encode_message(message),
             int_to_bytes(prover_index),
         )
@@ -389,20 +396,22 @@ class AnalystNode:
         self.clients_peer = clients_peer
         self.timeout = timeout
         self.rng = rng if rng is not None else SystemRNG()
-        self.params = query.build_params(
+        params = query.build_params(
             num_provers=len(servers), group=group, nb_override=nb_override
         )
-        self.plan = query.build_plan()
-        self.engine = ProtocolEngine(
-            self.params,
-            plan=self.plan,
+        self.engine = build_engine(
+            query,
+            num_provers=len(servers),
+            params=params,
             provers=[
-                RemoteProver(name, transport, self.params, timeout=timeout)
+                RemoteProver(name, transport, params, timeout=timeout)
                 for name in self.servers
             ],
             rng=self.rng,
             chunk_size=chunk_size,
         )
+        self.params = self.engine.params
+        self.plan = self.engine.plan
         self.result: EngineResult | None = None
 
     def run(self) -> EngineResult:

@@ -26,6 +26,7 @@ from repro.api.session import Session
 from repro.crypto.serialization import encode_message
 from repro.errors import ParameterError
 from repro.net.nodes import AnalystNode, ClientRunner, ServerNode
+from repro.net.shard import ShardWorker, ShardedAnalyst
 from repro.net.transport import InMemoryHub, SocketTransport, multiprocess_star
 from repro.utils.rng import RNG, SeededRNG, SystemRNG
 
@@ -62,6 +63,15 @@ def _server_main_socket(
     ServerNode(transport, _server_rng(seed, name), timeout=timeout).run()
 
 
+def _shard_main_pipes(transport, timeout: float = 60.0) -> None:
+    ShardWorker(transport, timeout=timeout).run()
+
+
+def _shard_main_socket(name: str, host: str, port: int, timeout: float = 60.0) -> None:
+    transport = SocketTransport.connect(name, "analyst", host, port)
+    ShardWorker(transport, timeout=timeout).run()
+
+
 def _clients_main_socket(
     host: str, port: int, query: Query, values, seed: str | None, timeout: float = 60.0
 ) -> None:
@@ -75,6 +85,7 @@ def run_distributed_session(
     *,
     transport: str = "multiprocess",
     num_servers: int = 2,
+    shards: int = 0,
     group: str = "p64-sim",
     nb_override: int | None = 64,
     chunk_size: int | None = None,
@@ -86,54 +97,78 @@ def run_distributed_session(
 ) -> dict:
     """Run one session as separate nodes; returns a result/metrics dict.
 
-    ``verify_equivalence`` (default: on whenever seeded) replays the same
-    query through the in-process :class:`Session` with the same seed and
-    compares the wire-encoded releases byte for byte.
+    ``shards > 0`` serves through a :class:`ShardedAnalyst` with that
+    many :class:`ShardWorker` peers (threads on the memory transport,
+    processes otherwise) — verification fans out, Morra and the release
+    stay single.  ``verify_equivalence`` (default: on whenever seeded)
+    replays the same query through the in-process :class:`Session` with
+    the same seed *and the same effective chunk size* and compares the
+    wire-encoded releases byte for byte.
     """
     if transport not in _TRANSPORTS:
         raise ParameterError(f"transport must be one of {_TRANSPORTS}")
+    if shards < 0:
+        raise ParameterError("shards must be >= 0 (0 = unsharded front-end)")
     values = list(values)
     server_names = [f"prover-{k}" for k in range(num_servers)]
+    shard_names = [f"shard-{s}" for s in range(shards)]
     if verify_equivalence is None:
         verify_equivalence = seed is not None
 
     start = time.perf_counter()
     if transport == "memory":
-        analyst_transport, cleanup = _start_memory(query, values, server_names, seed, timeout)
+        analyst_transport, cleanup = _start_memory(
+            query, values, server_names, shard_names, seed, timeout
+        )
     elif transport == "multiprocess":
         analyst_transport, cleanup = _start_multiprocess(
-            query, values, server_names, seed, timeout
+            query, values, server_names, shard_names, seed, timeout
         )
     else:
         analyst_transport, cleanup = _start_socket(
-            query, values, server_names, seed, host, port, timeout
+            query, values, server_names, shard_names, seed, host, port, timeout
         )
 
     try:
-        analyst = AnalystNode(
-            query,
-            analyst_transport,
-            server_names,
-            group=group,
-            nb_override=nb_override,
-            chunk_size=chunk_size,
-            rng=_root_rng(seed),
-            timeout=timeout,
-        )
+        if shards:
+            analyst = ShardedAnalyst(
+                query,
+                analyst_transport,
+                server_names,
+                shard_names,
+                group=group,
+                nb_override=nb_override,
+                chunk_size=chunk_size,
+                rng=_root_rng(seed),
+                timeout=timeout,
+            )
+        else:
+            analyst = AnalystNode(
+                query,
+                analyst_transport,
+                server_names,
+                group=group,
+                nb_override=nb_override,
+                chunk_size=chunk_size,
+                rng=_root_rng(seed),
+                timeout=timeout,
+            )
         result = analyst.run()
     finally:
         cleanup()
         analyst_transport.close()
     elapsed = time.perf_counter() - start
+    effective_chunk = getattr(analyst, "chunk_size", chunk_size)
 
     release_bytes = encode_message(result.release)
     outcome = {
         "transport": transport,
         "num_servers": num_servers,
+        "shards": shards,
         "n_clients": len(values),
         "nb": analyst.params.nb,
         "group": group,
-        "chunk_size": chunk_size,
+        "chunk_size": effective_chunk,
         "accepted": result.release.accepted,
         "estimate": result.release.estimate,
         "elapsed_s": elapsed,
@@ -151,7 +186,7 @@ def run_distributed_session(
             num_provers=num_servers,
             group=group,
             nb_override=nb_override,
-            chunk_size=chunk_size,
+            chunk_size=effective_chunk,
             rng=_root_rng(seed),
         )
         session.submit(values)
@@ -163,13 +198,16 @@ def run_distributed_session(
 # Per-transport node launchers -------------------------------------------------
 
 
-def _start_memory(query, values, server_names, seed, timeout):
+def _start_memory(query, values, server_names, shard_names, seed, timeout):
     hub = InMemoryHub()
     analyst_transport = hub.endpoint("analyst")
     threads = []
     for name in server_names:
         node = ServerNode(hub.endpoint(name), _server_rng(seed, name), timeout=timeout)
         threads.append(threading.Thread(target=node.run, name=name, daemon=True))
+    for name in shard_names:
+        worker = ShardWorker(hub.endpoint(name), timeout=timeout)
+        threads.append(threading.Thread(target=worker.run, name=name, daemon=True))
     runner = ClientRunner(
         hub.endpoint("clients"), query, values, rng=_root_rng(seed), timeout=timeout
     )
@@ -184,10 +222,10 @@ def _start_memory(query, values, server_names, seed, timeout):
     return analyst_transport, cleanup
 
 
-def _start_multiprocess(query, values, server_names, seed, timeout):
+def _start_multiprocess(query, values, server_names, shard_names, seed, timeout):
     context = get_context("fork")
     analyst_transport, peer_transports = multiprocess_star(
-        "analyst", server_names + ["clients"]
+        "analyst", server_names + shard_names + ["clients"]
     )
     processes = [
         context.Process(
@@ -196,6 +234,14 @@ def _start_multiprocess(query, values, server_names, seed, timeout):
             daemon=True,
         )
         for name in server_names
+    ]
+    processes += [
+        context.Process(
+            target=_shard_main_pipes,
+            args=(peer_transports[name], timeout),
+            daemon=True,
+        )
+        for name in shard_names
     ]
     processes.append(
         context.Process(
@@ -219,7 +265,7 @@ def _start_multiprocess(query, values, server_names, seed, timeout):
     return analyst_transport, cleanup
 
 
-def _start_socket(query, values, server_names, seed, host, port, timeout):
+def _start_socket(query, values, server_names, shard_names, seed, host, port, timeout):
     context = get_context("fork")
     analyst_transport = SocketTransport.listen("analyst", host, port)
     bound_port = analyst_transport.port
@@ -231,6 +277,14 @@ def _start_socket(query, values, server_names, seed, host, port, timeout):
         )
         for name in server_names
     ]
+    processes += [
+        context.Process(
+            target=_shard_main_socket,
+            args=(name, host, bound_port, timeout),
+            daemon=True,
+        )
+        for name in shard_names
+    ]
     processes.append(
         context.Process(
             target=_clients_main_socket,
@@ -241,7 +295,7 @@ def _start_socket(query, values, server_names, seed, host, port, timeout):
     for process in processes:
         process.start()
     analyst_transport.accept(
-        len(processes), timeout, expected=server_names + ["clients"]
+        len(processes), timeout, expected=server_names + shard_names + ["clients"]
     )
 
     def cleanup():
@@ -269,6 +323,7 @@ def main(args) -> int:
         values,
         transport=args.transport,
         num_servers=args.servers,
+        shards=args.shards,
         group=args.group,
         nb_override=args.nb,
         chunk_size=args.chunk,
@@ -277,9 +332,10 @@ def main(args) -> int:
         port=args.port,
         timeout=args.timeout,
     )
+    sharded = f", S={outcome['shards']} shards" if outcome["shards"] else ""
     print(
         f"== distributed session ({outcome['transport']}, "
-        f"K={outcome['num_servers']}, n={outcome['n_clients']}, "
+        f"K={outcome['num_servers']}{sharded}, n={outcome['n_clients']}, "
         f"nb={outcome['nb']}, {outcome['group']}) =="
     )
     print(f"accepted:          {outcome['accepted']}")

@@ -43,6 +43,7 @@ __all__ = [
     "decode_plan",
     "encode_enrollment",
     "decode_enrollment",
+    "split_enrollment",
     "encode_control",
     "decode_control",
     "encode_rpc",
@@ -179,15 +180,27 @@ def encode_enrollment(broadcast, privates) -> bytes:
     )
 
 
+def split_enrollment(data: bytes) -> tuple[bytes, list[bytes]]:
+    """An enrollment's (broadcast frame, private share frames), undecoded.
+
+    The sharded front-end forwards the broadcast frame to a shard worker
+    verbatim — splitting without decoding means the bytes a shard
+    validates are exactly the bytes the client sent, with no re-encoding
+    on the dispatch path.
+    """
+    parts = _parts(data, _MAGIC_ENROLL, "enrollment")
+    if len(parts) < 2:
+        raise EncodingError("enrollment needs a broadcast and >= 1 share message")
+    return parts[0], parts[1:]
+
+
 def decode_enrollment(group, data: bytes):
     from repro.core.messages import ClientBroadcast, ClientShareMessage
     from repro.crypto.serialization import decode_message
 
-    parts = _parts(data, _MAGIC_ENROLL, "enrollment")
-    if len(parts) < 2:
-        raise EncodingError("enrollment needs a broadcast and >= 1 share message")
-    broadcast = decode_message(group, parts[0])
-    privates = [decode_message(group, raw) for raw in parts[1:]]
+    broadcast_frame, private_frames = split_enrollment(data)
+    broadcast = decode_message(group, broadcast_frame)
+    privates = [decode_message(group, raw) for raw in private_frames]
     if not isinstance(broadcast, ClientBroadcast) or not all(
         isinstance(m, ClientShareMessage) for m in privates
     ):

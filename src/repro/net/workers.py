@@ -27,14 +27,20 @@ import os
 
 from repro.core.params import PublicParams
 from repro.core.prover import coin_transcript
-from repro.crypto.fiat_shamir import Transcript
-from repro.crypto.serialization import decode_message
+from repro.crypto.serialization import (
+    advance_coin_transcript,
+    advance_coin_transcript_frame,
+    decode_message,
+)
 from repro.crypto.sigma.batch import SigmaBatch
 from repro.crypto.sigma.or_bit import verify_bit
 from repro.errors import EncodingError, ParameterError, VerificationError
 from repro.net import wire
 from repro.utils.rng import SystemRNG
 
+# The transcript fast-forward helpers now live next to the frame codec
+# in repro.crypto.serialization (core code uses them too); re-exported
+# here because this is where the worker pattern is documented.
 __all__ = [
     "VerificationPool",
     "verify_coin_frame",
@@ -43,66 +49,6 @@ __all__ = [
 ]
 
 _WORKER_PARAMS: PublicParams | None = None
-
-
-def advance_coin_transcript(params: PublicParams, transcript: Transcript, message) -> None:
-    """Fast-forward a coin transcript over one message without verifying.
-
-    Mirrors exactly the transcript mutations of
-    :func:`repro.crypto.sigma.or_bit.verify_bit` — bind pp and the
-    commitment, absorb both announcements, extract (and discard) the
-    challenge — so a later chunk's verification starts from the identical
-    state, at pure hashing cost.
-    """
-    pedersen = params.pedersen
-    pp = pedersen.transcript_bytes()
-    for c_row, p_row in zip(message.commitments, message.proofs):
-        for commitment, proof in zip(c_row, p_row):
-            transcript.append_bytes("pp", pp)
-            transcript.append_element("bit-commitment", commitment.element)
-            transcript.append_element("d0", proof.d0)
-            transcript.append_element("d1", proof.d1)
-            transcript.challenge_scalar("or-challenge", pedersen.q)
-
-
-def advance_coin_transcript_frame(
-    params: PublicParams, transcript: Transcript, frame: bytes
-) -> None:
-    """Fast-forward over a *wire frame* without decoding group elements.
-
-    The transcript absorbs element encodings verbatim, and the frame
-    already carries each element's canonical bytes — so prefix chunks can
-    be replayed by pure length-prefix parsing plus hashing, skipping the
-    per-element membership exponentiations entirely.  This is what makes
-    chunk workers cheap: the expensive validation runs exactly once, in
-    the worker that owns the chunk.
-    """
-    from repro.utils.encoding import decode_length_prefixed
-
-    outer = decode_length_prefixed(frame)
-    if len(outer) != 3:
-        raise EncodingError("not a wire frame")
-    body = decode_length_prefixed(outer[2])
-    if len(body) < 3:
-        raise EncodingError("not a coin message frame")
-    rows = int.from_bytes(body[1], "big")
-    lanes = int.from_bytes(body[2], "big")
-    total = rows * lanes
-    if len(body) != 3 + 2 * total:
-        raise EncodingError("coin message frame shape mismatch")
-    pedersen = params.pedersen
-    pp = pedersen.transcript_bytes()
-    commitments = body[3 : 3 + total]
-    proofs = body[3 + total :]
-    for commitment_bytes, proof_frame in zip(commitments, proofs):
-        proof_parts = decode_length_prefixed(proof_frame)
-        if len(proof_parts) != 7:
-            raise EncodingError("bit proof frame needs magic plus 6 fields")
-        transcript.append_bytes("pp", pp)
-        transcript.append_bytes("bit-commitment", commitment_bytes)
-        transcript.append_bytes("d0", proof_parts[1])
-        transcript.append_bytes("d1", proof_parts[2])
-        transcript.challenge_scalar("or-challenge", pedersen.q)
 
 
 def verify_coin_frame(

@@ -113,17 +113,31 @@ class TestFormatting:
         from repro.bench.runner import run_multiexp
 
         monkeypatch.setenv("REPRO_BENCH_DIR", str(tmp_path))
-        rows = run_multiexp(sizes=(1, 4), wide_sizes=(2,), emit_json=True)
-        assert {r["n"] for r in rows} == {1, 2, 4}
-        assert all(r["naive_ms"] > 0 for r in rows)
-        assert all(r["selected"] in ("naive", "straus", "pippenger") for r in rows)
+        rows = run_multiexp(
+            sizes=(1, 4), wide_sizes=(2,), signed_sizes=(64,), emit_json=True
+        )
+        crossover = [r for r in rows if "kind" not in r]
+        assert {r["n"] for r in crossover} == {1, 2, 4}
+        assert all(r["naive_ms"] > 0 for r in crossover)
+        assert all(r["bits"] > 0 for r in crossover)
+        assert all(
+            r["selected"] in ("naive", "straus", "pippenger") for r in crossover
+        )
+        # Calibration feed rows: wNAF width sweep + bucket-variant duel.
+        windows = [r for r in rows if r.get("kind") == "straus-window"]
+        assert {r["window"] for r in windows} == {3, 4, 5, 6}
+        variants = [r for r in rows if r.get("kind") == "pippenger-variants"]
+        assert variants and all(
+            r["signed_ms"] > 0 and r["unsigned_ms"] > 0 for r in variants
+        )
+        assert {r["group"] for r in variants} == {"p128-sim", "ristretto255"}
         emitted = tmp_path / "BENCH_multiexp.json"
         assert emitted.exists()
         import json
 
         payload = json.loads(emitted.read_text())
         assert payload["bench"] == "multiexp"
-        assert len(payload["rows"]) == 3
+        assert len(payload["rows"]) == len(rows)
 
     def test_comm_rows(self):
         from repro.bench.runner import run_comm

@@ -22,7 +22,17 @@ from repro.utils.rng import SeededRNG
 scalars = st.integers(min_value=0, max_value=2**70)
 signed_scalars = st.integers(min_value=-(2**70), max_value=2**70)
 
-ALGORITHMS = ("naive", "straus", "pippenger")
+# "pippenger" auto-picks a digit decomposition; the explicit -signed /
+# -unsigned variants pin each bucket flavor, so every agreement test
+# below also proves the signed-digit (2^c-ary NAF) path correct on
+# random and edge inputs across all kernels.
+ALGORITHMS = (
+    "naive",
+    "straus",
+    "pippenger",
+    "pippenger-signed",
+    "pippenger-unsigned",
+)
 
 # Batch sizes at and around every tier boundary of the 128-bit Schnorr
 # profile (naive ≤ ~4, straus ≤ ~12, pippenger beyond) plus a large one.
@@ -154,6 +164,137 @@ class TestSelection:
 
     def test_curve_backends_skip_naive_early(self):
         assert select_algorithm(2, 252, native_pow=False, op_overhead=0.1) == "straus"
+
+    def test_signed_buckets_chosen_only_where_negation_is_cheap(self):
+        from repro.crypto.multiexp import _pippenger_variant
+
+        # Curve profile: negation is a coordinate flip -> signed digits.
+        assert _pippenger_variant(4096, 252, 0.05)[0] == "pippenger-signed"
+        # Schnorr integer profile: negation is ~3 muls via batch
+        # inversion, which eats the saved windows -> unsigned holds.
+        assert _pippenger_variant(4096, 127, 3.2)[0] == "pippenger-unsigned"
+
+    def test_signed_cost_model_counts_the_negation_pass(self):
+        from repro.crypto.multiexp import _pippenger_cost
+
+        free = _pippenger_cost(1024, 252, 9, signed=True, neg_muls=0.0)
+        paid = _pippenger_cost(1024, 252, 9, signed=True, neg_muls=3.2)
+        assert paid - free == pytest.approx(3.2 * 1024)
+
+
+class TestCalibration:
+    """The measured-BENCH auto-tuner: trusted when present, silent when not."""
+
+    def _with_bench(self, monkeypatch, tmp_path, payload):
+        import json
+
+        from repro.crypto import multiexp
+
+        (tmp_path / "BENCH_multiexp.json").write_text(json.dumps(payload))
+        monkeypatch.setenv("REPRO_BENCH_DIR", str(tmp_path))
+        monkeypatch.delenv("REPRO_MULTIEXP_CALIBRATION", raising=False)
+        multiexp._reset_calibration()
+        return multiexp
+
+    def test_measured_crossovers_override_the_cost_model(self, monkeypatch, tmp_path):
+        rows = [
+            {"group": "x-sim", "n": 4, "bits": 127, "naive_ms": 1.0, "straus_ms": 2.0, "pippenger_ms": 3.0},
+            {"group": "x-sim", "n": 16, "bits": 127, "naive_ms": 3.0, "straus_ms": 1.0, "pippenger_ms": 2.0},
+            {"group": "x-sim", "n": 64, "bits": 127, "naive_ms": 9.0, "straus_ms": 3.0, "pippenger_ms": 1.0},
+        ]
+        multiexp = self._with_bench(monkeypatch, tmp_path, {"rows": rows})
+        try:
+            assert multiexp.select_algorithm(4, 127, group_name="x-sim") == "naive"
+            assert multiexp.select_algorithm(16, 127, group_name="x-sim") == "straus"
+            assert multiexp.select_algorithm(64, 127, group_name="x-sim") == "pippenger"
+            # A very different exponent width must NOT trust the table.
+            assert (
+                multiexp.select_algorithm(4, 2047, group_name="x-sim")
+                == multiexp.select_algorithm(4, 2047)
+            )
+        finally:
+            multiexp._reset_calibration()
+
+    def test_no_extrapolation_past_the_largest_measured_n(self, monkeypatch, tmp_path):
+        # The top measured row still has straus winning; past it the rows
+        # say nothing about a crossover, so the cost model must decide —
+        # the tuner interpolates, never extrapolates.
+        rows = [
+            {"group": "x-wide", "n": 8, "bits": 2047, "naive_ms": 9.0, "straus_ms": 1.0, "pippenger_ms": 2.0},
+            {"group": "x-wide", "n": 32, "bits": 2047, "naive_ms": 30.0, "straus_ms": 3.0, "pippenger_ms": 5.0},
+        ]
+        multiexp = self._with_bench(monkeypatch, tmp_path, {"rows": rows})
+        try:
+            assert multiexp.select_algorithm(32, 2047, group_name="x-wide") == "straus"
+            assert (
+                multiexp.select_algorithm(
+                    64, 2047, native_pow=True, op_overhead=0.05, group_name="x-wide"
+                )
+                == multiexp.select_algorithm(64, 2047, native_pow=True, op_overhead=0.05)
+            )
+        finally:
+            multiexp._reset_calibration()
+
+    def test_measured_straus_window_overrides_the_table(self, monkeypatch, tmp_path):
+        rows = [
+            {"group": "x-sim", "kind": "straus-window", "n": 16, "bits": 127, "window": 3, "ms": 5.0},
+            {"group": "x-sim", "kind": "straus-window", "n": 16, "bits": 127, "window": 6, "ms": 1.0},
+        ]
+        multiexp = self._with_bench(monkeypatch, tmp_path, {"rows": rows})
+        try:
+            assert multiexp._straus_window(127, "x-sim") == 6
+            # Far-off widths and unknown groups fall back to the table.
+            assert multiexp._straus_window(2047, "x-sim") == multiexp._straus_window(2047)
+            assert multiexp._straus_window(127, "unknown") == multiexp._straus_window(127)
+        finally:
+            multiexp._reset_calibration()
+
+    def test_absent_or_garbage_file_falls_back_silently(self, monkeypatch, tmp_path):
+        from repro.crypto import multiexp
+
+        # No file anywhere (the checked-in repo-root copy is part of the
+        # default search path, so stub the resolver itself).
+        monkeypatch.setattr(multiexp, "_calibration_path", lambda: None)
+        multiexp._reset_calibration()
+        try:
+            assert multiexp._calibration() == {}
+            garbage = tmp_path / "BENCH_multiexp.json"
+            garbage.write_text("{not json")
+            monkeypatch.setattr(multiexp, "_calibration_path", lambda: garbage)
+            multiexp._reset_calibration()
+            assert multiexp._calibration() == {}
+            assert multiexp.select_algorithm(4096, 127, group_name="x-sim") == "pippenger"
+        finally:
+            multiexp._reset_calibration()
+
+    def test_opt_out_env_var(self, monkeypatch, tmp_path):
+        rows = [
+            {"group": "x-sim", "n": 4096, "bits": 127, "naive_ms": 1.0, "straus_ms": 2.0, "pippenger_ms": 3.0},
+        ]
+        multiexp = self._with_bench(monkeypatch, tmp_path, {"rows": rows})
+        try:
+            assert multiexp.select_algorithm(4096, 127, group_name="x-sim") == "naive"
+            monkeypatch.setenv("REPRO_MULTIEXP_CALIBRATION", "0")
+            multiexp._reset_calibration()
+            assert multiexp.select_algorithm(4096, 127, group_name="x-sim") == "pippenger"
+        finally:
+            multiexp._reset_calibration()
+
+    def test_variant_rows_alone_do_not_claim_crossovers(self, monkeypatch, tmp_path):
+        # A group measured only by the signed-vs-unsigned comparison (no
+        # tier timings) must keep cost-model tier selection.
+        rows = [
+            {"group": "x-sim", "kind": "pippenger-variants", "n": 1024, "bits": 127,
+             "unsigned_ms": 5.0, "signed_ms": 6.0, "signed_speedup": 0.83},
+        ]
+        multiexp = self._with_bench(monkeypatch, tmp_path, {"rows": rows})
+        try:
+            assert (
+                multiexp.select_algorithm(2, 127, group_name="x-sim")
+                == multiexp.select_algorithm(2, 127)
+            )
+        finally:
+            multiexp._reset_calibration()
 
 
 class TestKernels:

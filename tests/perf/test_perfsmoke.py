@@ -160,3 +160,53 @@ def test_fused_commit_beats_two_pows(pedersen128):
     assert fused * 1.2 < naive, (
         f"fused commit {fused * 1e3:.1f}ms vs two pows {naive * 1e3:.1f}ms"
     )
+
+
+def test_signed_pippenger_not_slower_where_selected(pedersen128):
+    """Signed-digit buckets vs the unsigned buckets they replace, nb=1024.
+
+    Two claims, one per backend class:
+
+    * ristretto255 (negation free): signed digits are the *selected*
+      variant and must actually be faster — the measured win is ~1.1×,
+      the do-not-regress floor is parity-with-noise.
+    * p128-sim (negation = batched inversion): the selector keeps
+      unsigned buckets, so the canary asserts the *auto* "pippenger"
+      tier is not slower than explicitly unsigned buckets — i.e. the
+      signed path is never silently chosen where it loses.
+    """
+    from repro.crypto.multiexp import _pippenger_variant, multi_exponentiation
+    from repro.crypto.ristretto import RistrettoGroup
+
+    nb = 1024
+    group = RistrettoGroup.instance()
+    rng = SeededRNG("signed-perfsmoke")
+    bases = [group.random_element(rng) for _ in range(nb)]
+    exps = [rng.field_element(group.order) for _ in range(nb)]
+    bits = max(e.bit_length() for e in exps)
+    assert _pippenger_variant(nb, bits, group.multiexp_kernel().neg_muls)[0] == (
+        "pippenger-signed"
+    )
+    start = time.perf_counter()
+    multi_exponentiation(group, bases, exps, algorithm="pippenger-unsigned")
+    unsigned = time.perf_counter() - start
+    start = time.perf_counter()
+    multi_exponentiation(group, bases, exps, algorithm="pippenger-signed")
+    signed = time.perf_counter() - start
+    assert signed < unsigned * 1.15, (
+        f"signed {signed * 1e3:.1f}ms vs unsigned {unsigned * 1e3:.1f}ms on ristretto"
+    )
+
+    group128 = pedersen128.group
+    rng = SeededRNG("signed-perfsmoke-128")
+    bases = [group128.random_element(rng) for _ in range(nb)]
+    exps = [rng.field_element(group128.order) for _ in range(nb)]
+    start = time.perf_counter()
+    multi_exponentiation(group128, bases, exps, algorithm="pippenger-unsigned")
+    unsigned = time.perf_counter() - start
+    start = time.perf_counter()
+    multi_exponentiation(group128, bases, exps, algorithm="pippenger")
+    auto = time.perf_counter() - start
+    assert auto < unsigned * 1.25, (
+        f"auto pippenger {auto * 1e3:.1f}ms vs unsigned {unsigned * 1e3:.1f}ms on p128"
+    )

@@ -43,6 +43,20 @@ def _serve_parser() -> argparse.ArgumentParser:
         default="multiprocess",
         help="node substrate: threads over the in-memory bus, pipes, or TCP",
     )
+    parser.add_argument(
+        "--async",
+        dest="use_async",
+        action="store_true",
+        help="serve over asyncio sockets: one SessionMux front-end process "
+        "multiplexes --sessions concurrent sessions (implies --transport "
+        "socket; each session is byte-identical to its solo seeded run)",
+    )
+    parser.add_argument(
+        "--sessions",
+        type=int,
+        default=2,
+        help="concurrent session count N for --async serving",
+    )
     parser.add_argument("--servers", type=int, default=2, help="prover count K")
     parser.add_argument(
         "--shards",

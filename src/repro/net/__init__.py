@@ -22,13 +22,26 @@ This package closes that gap without touching the protocol engine:
   verification peers and merges their verdicts/products into a release
   byte-identical to the unsharded path (``python -m repro serve
   --shards S``).
+* :mod:`repro.net.aio` — async serving: an :class:`AsyncSocketTransport`
+  over asyncio streams (wire compatible with the blocking transport) and
+  a :class:`SessionMux` front-end that multiplexes N concurrent sessions
+  in one process, each driving the unchanged engine (``python -m repro
+  serve --async --sessions N``).
 * :mod:`repro.net.serve` — the ``python -m repro serve`` demo driver: a
   full session as separate OS processes, byte-identical to the
   in-process path under seeded RNG.
 """
 
+from repro.net.aio import (
+    AsyncClientRunner,
+    AsyncServerNode,
+    AsyncSocketTransport,
+    SessionChannel,
+    SessionMux,
+    SessionSpec,
+)
 from repro.net.nodes import AnalystNode, ClientRunner, RemoteProver, ServerNode
-from repro.net.serve import run_distributed_session
+from repro.net.serve import run_async_sessions, run_distributed_session
 from repro.net.shard import ShardWorker, ShardedAnalyst
 from repro.net.transport import (
     InMemoryHub,
@@ -55,4 +68,11 @@ __all__ = [
     "ShardedAnalyst",
     "ShardWorker",
     "run_distributed_session",
+    "run_async_sessions",
+    "AsyncSocketTransport",
+    "SessionChannel",
+    "SessionMux",
+    "SessionSpec",
+    "AsyncServerNode",
+    "AsyncClientRunner",
 ]

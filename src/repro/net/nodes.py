@@ -28,6 +28,8 @@ a malicious front-end cannot see the values it must commit against.
 
 from __future__ import annotations
 
+import time
+
 from repro.api.engine import EngineResult, fork_rng
 from repro.api.queries import ComposedQuery, Query
 from repro.api.session import build_engine
@@ -60,10 +62,64 @@ from repro.net.transport import Transport
 from repro.utils.encoding import bytes_to_int, int_to_bytes
 from repro.utils.rng import RNG, SystemRNG
 
-__all__ = ["RemoteProver", "ServerNode", "AnalystNode", "ClientRunner"]
+__all__ = [
+    "RemoteProver",
+    "ServerNode",
+    "AnalystNode",
+    "ClientRunner",
+    "shutdown_peers",
+]
 
 _ANALYST = "analyst"
 _CLIENTS = "clients"
+
+# Teardown is post-release housekeeping: a dead peer must not stall it
+# for the full protocol timeout, let alone timeout × remaining peers.
+_SHUTDOWN_GRACE = 5.0
+
+
+def shutdown_peers(transport, peers, timeout, audit=None, *, grace=_SHUTDOWN_GRACE):
+    """Shut peers down concurrently: send every shutdown control first,
+    then collect the acks under one shared grace deadline.
+
+    The serial predecessor paid a full ``timeout`` recv per dead peer —
+    one crashed server stalled teardown by timeout × remaining peers —
+    and its bare ``except ReproError: pass`` discarded *which* peer was
+    dead.  Here the total wait is bounded by ``min(grace, timeout)``
+    (acks from healthy peers are already queued by the time their recv
+    runs, so the deadline is shared, not per-peer), and every
+    unresponsive peer is named in the audit notes.  Returns the
+    unresponsive peer names.
+
+    Callers run this *before* publishing the release, so the note lands
+    in the bytes that ship (never a post-publication mutation of the
+    audit record).  Deliberate consequence: a peer dying at teardown
+    makes the published release differ from a solo seeded run by exactly
+    this note — the byte-identity gate flags the degraded deployment
+    instead of silently passing it.
+    """
+    if timeout is not None:
+        grace = min(grace, timeout)
+    unresponsive: list[str] = []
+    pending: list[str] = []
+    for name in peers:
+        try:
+            transport.send(name, wire.encode_control("shutdown"))
+            pending.append(name)
+        except ReproError:
+            unresponsive.append(name)
+    deadline = time.monotonic() + grace
+    for name in pending:
+        # The floor drains acks that are already queued even once a dead
+        # peer has exhausted the shared deadline.
+        remaining = max(deadline - time.monotonic(), 0.05)
+        try:
+            transport.recv(name, remaining)
+        except ReproError:
+            unresponsive.append(name)
+    if unresponsive and audit is not None:
+        audit.note("unresponsive at shutdown: " + ", ".join(unresponsive))
+    return unresponsive
 
 
 class RemoteProver(MorraParticipant):
@@ -249,12 +305,17 @@ class ServerNode:
         analyst: str = _ANALYST,
         prover_factory=None,
         timeout: float | None = 60.0,
+        reply_delay: float = 0.0,
     ) -> None:
         self.transport = transport
         self.rng = rng if rng is not None else SystemRNG()
         self.analyst = analyst
         self.prover_factory = prover_factory if prover_factory is not None else Prover
         self.timeout = timeout
+        # Benchmark knob: sleep before every RPC reply, modelling a
+        # remote prover's network/compute latency (the idle time an async
+        # front-end overlaps across sessions).  Zero in production.
+        self.reply_delay = reply_delay
         self.prover: Prover | None = None
         self._morra_values: list[int] = []
         self._morra_randomness: list[bytes] = []
@@ -289,6 +350,8 @@ class ServerNode:
                     # Malformed or short frames get an abort reply, never a
                     # dead server: the analyst attributes and moves on.
                     reply = wire.encode_abort_reply(f"{type(exc).__name__}: {exc}")
+                if self.reply_delay:
+                    time.sleep(self.reply_delay)
                 self.transport.send(self.analyst, reply)
         finally:
             self.transport.close()
@@ -432,11 +495,15 @@ class AnalystNode:
         )
         self._ingest()
         self.result = self.engine.run_release()
+        # Servers shut down *before* the release is published: an
+        # unresponsive peer's audit note must land in the bytes the
+        # clients receive, not mutate the audit record of an
+        # already-shipped release.
+        self._shutdown_servers()
         self.transport.send(
             self.clients_peer,
             wire.encode_control("release", encode_message(self.result.release)),
         )
-        self._shutdown_servers()
         return self.result
 
     def _ingest(self) -> None:
@@ -511,12 +578,9 @@ class AnalystNode:
                 )
 
     def _shutdown_servers(self) -> None:
-        for name in self.servers:
-            try:
-                self.transport.send(name, wire.encode_control("shutdown"))
-                self.transport.recv(name, self.timeout)
-            except ReproError:  # pragma: no cover - a dead server is fine now
-                pass
+        shutdown_peers(
+            self.transport, self.servers, self.timeout, self.engine.verifier.audit
+        )
 
     @property
     def release(self) -> Release:

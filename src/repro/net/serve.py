@@ -17,6 +17,9 @@ redesign promises (same engine, same RNG streams, different substrate).
 
 from __future__ import annotations
 
+import asyncio
+import socket
+import statistics
 import threading
 import time
 from multiprocessing import get_context
@@ -25,12 +28,24 @@ from repro.api.queries import CountQuery, HistogramQuery, Query
 from repro.api.session import Session
 from repro.crypto.serialization import encode_message
 from repro.errors import ParameterError
+from repro.net.aio import (
+    AsyncClientRunner,
+    AsyncServerNode,
+    AsyncSocketTransport,
+    SessionMux,
+    SessionSpec,
+)
 from repro.net.nodes import AnalystNode, ClientRunner, ServerNode
 from repro.net.shard import ShardWorker, ShardedAnalyst
-from repro.net.transport import InMemoryHub, SocketTransport, multiprocess_star
+from repro.net.transport import (
+    SESSION_ANY,
+    InMemoryHub,
+    SocketTransport,
+    multiprocess_star,
+)
 from repro.utils.rng import RNG, SeededRNG, SystemRNG
 
-__all__ = ["run_distributed_session", "main"]
+__all__ = ["run_distributed_session", "run_async_sessions", "main"]
 
 _TRANSPORTS = ("memory", "multiprocess", "socket")
 
@@ -42,6 +57,27 @@ def _root_rng(seed: str | None) -> RNG:
 def _server_rng(seed: str | None, name: str) -> RNG:
     # Matches the in-process engine: prover k draws from root.fork(name).
     return SeededRNG(seed).fork(name) if seed is not None else SystemRNG()
+
+
+def _session_seed(seed: str | None, session: int) -> str | None:
+    # Every multiplexed session gets its own root seed, so session s is
+    # reproducible solo: Session(query, rng=SeededRNG(f"{seed}/s{s}")).
+    return None if seed is None else f"{seed}/s{session}"
+
+
+def _session_values(values: list, session: int) -> list:
+    # Distinct-but-derived per-session populations for demos/benchmarks.
+    shift = session % len(values) if values else 0
+    return values[shift:] + values[:shift]
+
+
+def _terminate_processes(processes) -> None:
+    """Best-effort teardown of started children on a failure path."""
+    for process in processes:
+        if process.is_alive():
+            process.terminate()
+    for process in processes:
+        process.join(timeout=5.0)
 
 
 def _server_main_pipes(
@@ -155,8 +191,13 @@ def run_distributed_session(
             )
         result = analyst.run()
     finally:
-        cleanup()
+        # Close the analyst transport *before* joining children: after an
+        # analyst-side abort the children sit blocked in recv, and with
+        # the sockets/pipes still open they would hold them for the full
+        # join timeout.  Closing first turns their recv into an immediate
+        # ProtocolAbort, so cleanup reaps them promptly.
         analyst_transport.close()
+        cleanup()
     elapsed = time.perf_counter() - start
     effective_chunk = getattr(analyst, "chunk_size", chunk_size)
 
@@ -250,11 +291,21 @@ def _start_multiprocess(query, values, server_names, shard_names, seed, timeout)
             daemon=True,
         )
     )
-    for process in processes:
-        process.start()
-    # The child ends of the pipes belong to the children now.
-    for peer_transport in peer_transports.values():
-        peer_transport.close()
+    started: list = []
+    try:
+        for process in processes:
+            process.start()
+            started.append(process)
+        # The child ends of the pipes belong to the children now.
+        for peer_transport in peer_transports.values():
+            peer_transport.close()
+    except BaseException:
+        # A failed start must not leak the children already running (or
+        # the analyst's pipe ends): this cleanup used to exist only in
+        # the returned closure, which a raising startup never reached.
+        _terminate_processes(started)
+        analyst_transport.close()
+        raise
 
     def cleanup():
         for process in processes:
@@ -292,11 +343,21 @@ def _start_socket(query, values, server_names, shard_names, seed, host, port, ti
             daemon=True,
         )
     )
-    for process in processes:
-        process.start()
-    analyst_transport.accept(
-        len(processes), timeout, expected=server_names + shard_names + ["clients"]
-    )
+    started: list = []
+    try:
+        for process in processes:
+            process.start()
+            started.append(process)
+        analyst_transport.accept(
+            len(processes), timeout, expected=server_names + shard_names + ["clients"]
+        )
+    except BaseException:
+        # accept() raising (timeout, hostile handshakes, listener error)
+        # used to leak every started child *and* the listening socket —
+        # the cleanup closure was only returned on success.
+        _terminate_processes(started)
+        analyst_transport.close()
+        raise
 
     def cleanup():
         for process in processes:
@@ -305,6 +366,245 @@ def _start_socket(query, values, server_names, shard_names, seed, host, port, ti
                 process.terminate()
 
     return analyst_transport, cleanup
+
+
+# Async multiplexed serving ----------------------------------------------------
+
+
+def _async_server_main(
+    name: str,
+    host: str,
+    port: int,
+    seed: str | None,
+    sessions: int,
+    timeout: float = 60.0,
+    reply_delay: float = 0.0,
+) -> None:
+    """Child process: one multi-session prover host over one connection."""
+
+    async def go() -> None:
+        transport = await AsyncSocketTransport.connect(name, "analyst", host, port)
+        node = AsyncServerNode(
+            transport,
+            {
+                s: _server_rng(_session_seed(seed, s), name)
+                for s in range(sessions)
+            },
+            timeout=timeout,
+            reply_delay=reply_delay,
+        )
+        await node.run()
+        await transport.aclose()
+
+    asyncio.run(go())
+
+
+def _async_clients_main(
+    host: str,
+    port: int,
+    query: Query,
+    values,
+    seed: str | None,
+    sessions: int,
+    timeout: float = 60.0,
+) -> None:
+    """Child process: one client population per session, one connection."""
+
+    async def go() -> None:
+        transport = await AsyncSocketTransport.connect("clients", "analyst", host, port)
+        runner = AsyncClientRunner(
+            transport,
+            {
+                s: (
+                    query,
+                    _session_values(list(values), s),
+                    _root_rng(_session_seed(seed, s)),
+                )
+                for s in range(sessions)
+            },
+            timeout=timeout,
+        )
+        await runner.run()
+        await transport.aclose()
+
+    asyncio.run(go())
+
+
+def run_async_sessions(
+    query: Query,
+    values,
+    *,
+    sessions: int = 2,
+    num_servers: int = 2,
+    group: str = "p64-sim",
+    nb_override: int | None = 64,
+    chunk_size: int | None = None,
+    seed: str | None = "serve",
+    host: str = "127.0.0.1",
+    port: int = 0,
+    timeout: float = 120.0,
+    reply_delay: float = 0.0,
+    verify_equivalence: bool | None = None,
+) -> dict:
+    """N concurrent sessions through one :class:`SessionMux` front-end.
+
+    The topology is the socket one of :func:`run_distributed_session`,
+    made async: K :class:`AsyncServerNode` processes (each hosting one
+    prover per session over a single connection) and one
+    :class:`AsyncClientRunner` process (one population per session, with
+    session s's values rotated by s), all multiplexed by a single
+    front-end process.  Session *s* runs under seed ``{seed}/s{s}``, and
+    ``verify_equivalence`` (default: on whenever seeded) replays every
+    session through a solo in-process :class:`Session` and compares the
+    wire-encoded releases byte for byte.
+
+    ``reply_delay`` makes every server sleep that long before each RPC
+    reply — simulated remote-prover latency, the idle time the mux
+    exists to overlap (benchmark knob, zero by default).
+    """
+    if sessions < 1:
+        raise ParameterError("sessions must be >= 1")
+    values = list(values)
+    server_names = [f"prover-{k}" for k in range(num_servers)]
+    if verify_equivalence is None:
+        verify_equivalence = seed is not None
+
+    # Bind the listener before forking so children know the port; the
+    # asyncio server adopts this socket inside the loop.
+    listener_sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    listener_sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    listener_sock.bind((host, port))
+    listener_sock.listen(16)
+    bound_port = listener_sock.getsockname()[1]
+
+    context = get_context("fork")
+    processes = [
+        context.Process(
+            target=_async_server_main,
+            args=(name, host, bound_port, seed, sessions, timeout, reply_delay),
+            daemon=True,
+        )
+        for name in server_names
+    ]
+    processes.append(
+        context.Process(
+            target=_async_clients_main,
+            args=(host, bound_port, query, values, seed, sessions, timeout),
+            daemon=True,
+        )
+    )
+
+    mux_box: dict = {}
+    start = time.perf_counter()
+
+    async def front_end() -> None:
+        transport = await AsyncSocketTransport.listen("analyst", sock=listener_sock)
+        mux_box["transport"] = transport
+        try:
+            # Scope-pinned expectations: every peer of this topology is a
+            # multi-session host, so a hostile handshake claiming an
+            # expected name under a *session* scope (to hijack that
+            # session's routing) is dropped.  Lockdown afterwards — the
+            # topology is complete, late connections are not.
+            await transport.accept(
+                len(processes),
+                timeout,
+                expected=[
+                    (name, SESSION_ANY) for name in server_names + ["clients"]
+                ],
+            )
+            transport.lockdown()
+            specs = [
+                SessionSpec(
+                    query,
+                    rng=_root_rng(_session_seed(seed, s)),
+                    group=group,
+                    nb_override=nb_override,
+                    chunk_size=chunk_size,
+                )
+                for s in range(sessions)
+            ]
+            mux = SessionMux(specs, transport, server_names, timeout=timeout)
+            mux_box["mux"] = mux
+            await mux.run()
+        finally:
+            # Unblock children before they are joined (same lifecycle rule
+            # as the sync path's cleanup ordering).
+            await transport.aclose()
+
+    started: list = []
+    try:
+        for process in processes:
+            process.start()
+            started.append(process)
+        asyncio.run(front_end())
+    except BaseException:
+        _terminate_processes(started)
+        listener_sock.close()
+        raise
+    finally:
+        for process in started:
+            process.join(timeout=30.0)
+            if process.is_alive():  # pragma: no cover - hung child
+                process.terminate()
+    elapsed = time.perf_counter() - start
+
+    mux = mux_box["mux"]
+    transport = mux_box["transport"]
+    for s, error in enumerate(mux.errors):
+        if error is not None:
+            raise error
+    session_rows = []
+    for s, result in enumerate(mux.results):
+        release_bytes = encode_message(result.release)
+        row = {
+            "session": s,
+            "accepted": result.release.accepted,
+            "estimate": result.release.estimate,
+            "elapsed_s": mux.session_seconds[s],
+            "release_bytes": len(release_bytes),
+        }
+        if verify_equivalence:
+            solo = Session(
+                query,
+                num_provers=num_servers,
+                group=group,
+                nb_override=nb_override,
+                chunk_size=chunk_size,
+                rng=_root_rng(_session_seed(seed, s)),
+            )
+            solo.submit(_session_values(values, s))
+            row["byte_identical"] = (
+                encode_message(solo.release().release) == release_bytes
+            )
+        session_rows.append(row)
+
+    params = query.build_params(
+        num_provers=num_servers, group=group, nb_override=nb_override
+    )
+    outcome = {
+        "transport": "async-socket",
+        "sessions": sessions,
+        "num_servers": num_servers,
+        "n_clients": len(values),
+        "nb": params.nb,
+        "group": group,
+        "chunk_size": chunk_size,
+        "reply_delay_s": reply_delay,
+        "elapsed_s": elapsed,
+        "sessions_per_sec": sessions / elapsed if elapsed else float("inf"),
+        "p50_session_s": statistics.median(mux.session_seconds),
+        "accepted": all(row["accepted"] for row in session_rows),
+        "frontend_bytes_sent": transport.bytes_sent,
+        "frontend_bytes_received": transport.bytes_received,
+        "frontend_frames": transport.frames_sent + transport.frames_received,
+        "session_rows": session_rows,
+    }
+    if verify_equivalence:
+        outcome["byte_identical"] = all(
+            row["byte_identical"] for row in session_rows
+        )
+    return outcome
 
 
 # CLI entry --------------------------------------------------------------------
@@ -318,6 +618,8 @@ def main(args) -> int:
     else:
         query = CountQuery(epsilon=1.0, delta=2**-10)
         values = [i % 2 for i in range(args.clients)]
+    if getattr(args, "use_async", False):
+        return _main_async(args, query, values)
     outcome = run_distributed_session(
         query,
         values,
@@ -350,6 +652,55 @@ def main(args) -> int:
     print(f"release frame:     {outcome['release_bytes']} B")
     if "byte_identical" in outcome:
         print(f"byte-identical to in-process Session: {outcome['byte_identical']}")
+        if not outcome["byte_identical"]:
+            return 1
+    return 0 if outcome["accepted"] else 1
+
+
+def _main_async(args, query: Query, values) -> int:
+    if args.shards:
+        raise ParameterError("--async does not serve sharded front-ends yet")
+    outcome = run_async_sessions(
+        query,
+        values,
+        sessions=args.sessions,
+        num_servers=args.servers,
+        group=args.group,
+        nb_override=args.nb,
+        chunk_size=args.chunk,
+        seed=args.seed,
+        host=args.host,
+        port=args.port,
+        timeout=args.timeout,
+    )
+    print(
+        f"== async multiplexed serving (N={outcome['sessions']} sessions, "
+        f"K={outcome['num_servers']}, n={outcome['n_clients']} clients/session, "
+        f"nb={outcome['nb']}, {outcome['group']}) =="
+    )
+    for row in outcome["session_rows"]:
+        estimate = tuple(round(v, 2) for v in row["estimate"])
+        line = (
+            f"session {row['session']}: accepted={row['accepted']} "
+            f"estimate={estimate} elapsed={row['elapsed_s']:.2f}s"
+        )
+        if "byte_identical" in row:
+            line += f" byte_identical={row['byte_identical']}"
+        print(line)
+    print(f"wall time:         {outcome['elapsed_s']:.2f}s")
+    print(f"aggregate:         {outcome['sessions_per_sec']:.2f} sessions/s")
+    print(f"p50 session:       {outcome['p50_session_s']:.2f}s")
+    print(
+        "front-end traffic: "
+        f"{outcome['frontend_bytes_sent']} B out, "
+        f"{outcome['frontend_bytes_received']} B in, "
+        f"{outcome['frontend_frames']} frames"
+    )
+    if "byte_identical" in outcome:
+        print(
+            "byte-identical to solo in-process Sessions: "
+            f"{outcome['byte_identical']}"
+        )
         if not outcome["byte_identical"]:
             return 1
     return 0 if outcome["accepted"] else 1

@@ -66,7 +66,7 @@ from repro.errors import (
     ReproError,
 )
 from repro.net import wire
-from repro.net.nodes import RemoteProver
+from repro.net.nodes import RemoteProver, shutdown_peers
 from repro.net.transport import Transport
 from repro.utils.encoding import (
     bytes_to_int,
@@ -437,13 +437,16 @@ class ShardedAnalyst:
         self._ingest()
         self._finish_clients()
         self.result = self.engine.run_release()
+        # Peers shut down *before* the release is published, so an
+        # unresponsive peer's audit note is part of the published bytes
+        # (never a post-publication mutation of the shipped record).
+        self._shutdown_peers()
         self.transport.send(
             self.clients_peer,
             wire.encode_control(
                 "release", encode_message_cached(self.result.release)
             ),
         )
-        self._shutdown_peers()
         return self.result
 
     def _expect_ok(self, name: str, what: str) -> None:
@@ -728,9 +731,9 @@ class ShardedAnalyst:
     # Teardown ----------------------------------------------------------------
 
     def _shutdown_peers(self) -> None:
-        for name in self.servers + self.shards:
-            try:
-                self.transport.send(name, wire.encode_control("shutdown"))
-                self.transport.recv(name, self.timeout)
-            except ReproError:  # pragma: no cover - a dead peer is fine now
-                pass
+        shutdown_peers(
+            self.transport,
+            self.servers + self.shards,
+            self.timeout,
+            self.engine.verifier.audit,
+        )

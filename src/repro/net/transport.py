@@ -42,14 +42,38 @@ __all__ = [
     "SocketTransport",
     "multiprocess_star",
     "DEFAULT_MAX_FRAME_BYTES",
+    "SESSION_ANY",
+    "pack_frame",
+    "pack_handshake",
+    "split_header_word",
+    "check_session_id",
+    "check_frame_size",
 ]
 
 _LEN = struct.Struct(">I")
 
+# Frame header versioning.  A v1 header is the 4-byte big-endian payload
+# length alone; legitimate frames are capped far below 2**31 bytes, so
+# the top bit of the length word is free to mark a v2 header, which
+# carries a 4-byte session id between the length and the payload:
+#
+#   v1 := len(frame)                    . frame           (session 0)
+#   v2 := (len(frame) | _V2_FLAG) . sid . frame           (session sid)
+#
+# Session 0 is always written as v1, so a session-unaware peer and a
+# session-aware one exchange byte-identical streams for the default
+# session — sync and async transports interoperate on the wire.
+_V2_FLAG = 0x8000_0000
+
+# Handshake scope marker: a connection announcing SESSION_ANY serves
+# every session (an async multi-session host).  Never a frame's session.
+SESSION_ANY = 0xFFFF_FFFF
+
 # Upper bound on a single frame an unauthenticated TCP peer can make a
 # node buffer: well above any legitimate protocol frame (a nb=4096
 # coin-commitment message over modp-2048 is a few MiB), far below the
-# 4 GiB the length prefix could otherwise announce.
+# 4 GiB the length prefix could otherwise announce.  Must stay below
+# _V2_FLAG so the version bit can never collide with a legal length.
 DEFAULT_MAX_FRAME_BYTES = 1 << 28  # 256 MiB
 
 # The pre-authentication handshake carries only a peer name; anything
@@ -58,6 +82,53 @@ _HANDSHAKE_MAX_BYTES = 1024
 
 # Cap on recorded dropped-handshake diagnostics per listener.
 _MAX_DROPPED_NOTES = 32
+
+
+def pack_frame(frame: bytes, session: int = 0) -> bytes:
+    """Wire bytes for one frame: v1 header for session 0, v2 otherwise."""
+    if len(frame) >= _V2_FLAG:
+        raise ParameterError("frame too large for the length prefix")
+    if session == 0:
+        return _LEN.pack(len(frame)) + frame
+    if not 0 < session < SESSION_ANY:
+        raise ParameterError("session id out of range")
+    return _LEN.pack(_V2_FLAG | len(frame)) + _LEN.pack(session) + frame
+
+
+def pack_handshake(name: str, session: int = 0) -> bytes:
+    """The one-frame name announcement; its header carries the scope.
+
+    Scope 0 is the v1 handshake every legacy peer already sends;
+    ``SESSION_ANY`` announces a multi-session host.
+    """
+    if not 0 <= session <= SESSION_ANY:
+        raise ParameterError("session id out of range")
+    payload = name.encode()
+    if session == 0:
+        return _LEN.pack(len(payload)) + payload
+    return _LEN.pack(_V2_FLAG | len(payload)) + _LEN.pack(session) + payload
+
+
+def split_header_word(word: int) -> tuple[int, bool]:
+    """A frame header's first word → (payload size, session id follows)."""
+    if word & _V2_FLAG:
+        return word & ~_V2_FLAG, True
+    return word, False
+
+
+def check_session_id(session: int, *, party: str, handshake: bool) -> None:
+    """Reject v2 session ids the format reserves (0 is always written as
+    v1; SESSION_ANY is a handshake scope, hostile in a data frame)."""
+    if session == 0 or (session == SESSION_ANY and not handshake):
+        raise ProtocolAbort(f"{party!r} sent an invalid v2 session id", party=party)
+
+
+def check_frame_size(size: int, max_bytes: int, party: str) -> None:
+    """The announced size is untrusted: abort before any buffering."""
+    if size > max_bytes:
+        raise ProtocolAbort(
+            f"{party!r} announced an oversized frame ({size} bytes)", party=party
+        )
 
 
 class Transport(abc.ABC):
@@ -230,15 +301,28 @@ class SocketTransport(Transport):
     ``max_frame_bytes`` caps what a peer's length prefix can make this
     node buffer (default :data:`DEFAULT_MAX_FRAME_BYTES`); an oversized
     announcement aborts the channel before any allocation.
+
+    ``session`` binds every frame this transport sends and accepts to one
+    protocol session (see the v1/v2 header notes at :func:`pack_frame`).
+    The default 0 is the legacy wire format unchanged; a non-zero binding
+    lets a plain synchronous peer serve exactly one session of a
+    multiplexing :class:`repro.net.aio.SessionMux` front-end.
     """
 
     def __init__(
-        self, name: str, *, max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES
+        self,
+        name: str,
+        *,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+        session: int = 0,
     ) -> None:
         super().__init__(name)
-        if max_frame_bytes < 1:
-            raise ParameterError("max_frame_bytes must be positive")
+        if not 1 <= max_frame_bytes < _V2_FLAG:
+            raise ParameterError("max_frame_bytes must be in [1, 2**31)")
+        if not 0 <= session < SESSION_ANY:
+            raise ParameterError("session id out of range")
         self.max_frame_bytes = max_frame_bytes
+        self.session = session
         self.dropped_handshakes: list[str] = []
         self._dropped_overflow = 0
         self._sockets: dict[str, socket.socket] = {}
@@ -256,8 +340,9 @@ class SocketTransport(Transport):
         *,
         backlog: int = 16,
         max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+        session: int = 0,
     ) -> "SocketTransport":
-        transport = cls(name, max_frame_bytes=max_frame_bytes)
+        transport = cls(name, max_frame_bytes=max_frame_bytes, session=session)
         listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         listener.bind((host, port))
@@ -323,12 +408,14 @@ class SocketTransport(Transport):
             # this peer's unreadable handshake.
             handshake_timeout = remaining()
             try:
-                peer = _read_frame(
+                scope, raw_name = _read_session_frame(
                     sock,
                     handshake_timeout,
                     party="connecting peer",
                     max_bytes=_HANDSHAKE_MAX_BYTES,
-                ).decode()
+                    handshake=True,
+                )
+                peer = raw_name.decode()
             except (ProtocolAbort, UnicodeDecodeError):
                 sock.close()
                 # Re-raises with the accept-timeout message if the overall
@@ -336,6 +423,15 @@ class SocketTransport(Transport):
                 # and must not be recorded as a bad handshake.
                 remaining()
                 self._note_dropped("<unreadable handshake>")
+                continue
+            if scope not in (SESSION_ANY, self.session):
+                # A peer bound to a different session has no business on a
+                # single-session listener — connect it to a SessionMux.
+                sock.close()
+                self._note_dropped(
+                    f"session-{scope} handshake from {peer[:64]!r} "
+                    f"on a session-{self.session} listener"
+                )
                 continue
             if expected is not None and peer not in expected:
                 sock.close()
@@ -376,10 +472,16 @@ class SocketTransport(Transport):
         *,
         timeout: float | None = 30.0,
         max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+        session: int = 0,
     ) -> "SocketTransport":
-        transport = cls(name, max_frame_bytes=max_frame_bytes)
+        """Connect and handshake.  ``session`` binds the channel: 0 (the
+        default) emits the legacy v1 handshake and frames byte-for-byte;
+        ``session=s`` announces the scope so a session-multiplexing
+        listener (:class:`repro.net.aio.AsyncSocketTransport`) routes this
+        connection's traffic to session *s*."""
+        transport = cls(name, max_frame_bytes=max_frame_bytes, session=session)
         sock = socket.create_connection((host, port), timeout=timeout)
-        _write_frame(sock, name.encode())
+        sock.sendall(pack_handshake(name, session))
         transport._sockets[peer] = sock
         return transport
 
@@ -392,12 +494,19 @@ class SocketTransport(Transport):
         return sock
 
     def _send(self, peer: str, frame: bytes) -> None:
-        _write_frame(self._socket(peer), frame)
+        self._socket(peer).sendall(pack_frame(frame, self.session))
 
     def _recv(self, peer: str, timeout: float | None) -> bytes:
-        return _read_frame(
+        session, frame = _read_session_frame(
             self._socket(peer), timeout, party=peer, max_bytes=self.max_frame_bytes
         )
+        if session != self.session:
+            raise ProtocolAbort(
+                f"{peer!r} sent a session-{session} frame on a "
+                f"session-{self.session} channel",
+                party=peer,
+            )
+        return frame
 
     def close(self) -> None:
         for sock in self._sockets.values():
@@ -409,29 +518,32 @@ class SocketTransport(Transport):
             self._listener.close()
 
 
-def _write_frame(sock: socket.socket, frame: bytes) -> None:
-    sock.sendall(_LEN.pack(len(frame)) + frame)
-
-
-def _read_frame(
+def _read_session_frame(
     sock: socket.socket,
     timeout: float | None,
     *,
     party: str,
     max_bytes: int = DEFAULT_MAX_FRAME_BYTES,
-) -> bytes:
+    handshake: bool = False,
+) -> tuple[int, bytes]:
+    """One (session, frame) off a socket; v1 headers decode as session 0.
+
+    ``handshake`` admits the :data:`SESSION_ANY` scope marker, which is
+    hostile anywhere else.
+    """
     # One monotonic deadline for the whole frame: re-arming the socket
     # timeout per recv would let a byte-trickling peer hold the read open
     # for timeout-per-byte instead of timeout-per-frame.
     deadline = None if timeout is None else time.monotonic() + timeout
     try:
-        header = _read_exact(sock, _LEN.size, party, deadline)
-        size = _LEN.unpack(header)[0]
-        if size > max_bytes:
-            raise ProtocolAbort(
-                f"{party!r} announced an oversized frame ({size} bytes)", party=party
-            )
-        return _read_exact(sock, size, party, deadline)
+        word = _LEN.unpack(_read_exact(sock, _LEN.size, party, deadline))[0]
+        size, has_session = split_header_word(word)
+        session = 0
+        if has_session:
+            session = _LEN.unpack(_read_exact(sock, _LEN.size, party, deadline))[0]
+            check_session_id(session, party=party, handshake=handshake)
+        check_frame_size(size, max_bytes, party)
+        return session, _read_exact(sock, size, party, deadline)
     except TimeoutError as exc:
         raise ProtocolAbort(f"timed out waiting for {party!r}", party=party) from exc
     except OSError as exc:

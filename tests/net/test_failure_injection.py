@@ -1,0 +1,236 @@
+"""Transport-level failure injection: a peer dying mid-phase.
+
+tests/net's tamper tests cover *wrong bytes*; these cover *no bytes*: a
+prover that goes silent between COMMIT_COINS and MORRA (its coin
+commitments are in, its Morra contributions never come).  The front-end
+must raise a :class:`ProtocolAbort` naming that prover within its
+timeout — never hang — on both the blocking and the async serving paths,
+and a multiplexed front-end must contain the damage to the dead peer's
+session.
+"""
+
+import asyncio
+import threading
+import time
+
+import pytest
+
+from repro.api.queries import CountQuery
+from repro.api.session import Session
+from repro.crypto.serialization import encode_message
+from repro.errors import ProtocolAbort
+from repro.net.aio import (
+    AsyncClientRunner,
+    AsyncSocketTransport,
+    SessionChannel,
+    SessionMux,
+    SessionSpec,
+)
+from repro.net.nodes import AnalystNode, ClientRunner, ServerNode
+from repro.net.transport import InMemoryHub
+from repro.utils.rng import SeededRNG
+
+DELTA = 2**-10
+QUERY = CountQuery(epsilon=1.0, delta=DELTA)
+
+
+class _DieBeforeMorra(ServerNode):
+    """Serves faithfully through COMMIT_COINS, then drops dead: the first
+    Morra RPC never gets a reply and the node thread exits."""
+
+    def _dispatch(self, method, parts):
+        if method == "morra-sample":
+            raise SystemExit
+        return super()._dispatch(method, parts)
+
+
+class TestSyncPeerDeath:
+    def test_dead_prover_aborts_attributed_not_hangs(self):
+        """In-memory topology, prover-1 dies between COMMIT_COINS and
+        MORRA: AnalystNode raises ProtocolAbort(party='prover-1') within
+        its recv timeout."""
+        hub = InMemoryHub()
+        seed = "die-sync"
+        threads = []
+
+        def server_main(node):
+            try:
+                node.run()
+            except (ProtocolAbort, SystemExit):
+                pass  # the survivor aborts once the analyst is gone
+
+        for name, cls in [("prover-0", ServerNode), ("prover-1", _DieBeforeMorra)]:
+            node = cls(hub.endpoint(name), SeededRNG(seed).fork(name), timeout=5.0)
+            threads.append(
+                threading.Thread(target=server_main, args=(node,), daemon=True)
+            )
+        runner = ClientRunner(
+            hub.endpoint("clients"), QUERY, [1, 0, 1], rng=SeededRNG(seed), timeout=5.0
+        )
+
+        def clients_main():
+            try:
+                runner.run()
+            except ProtocolAbort:
+                pass  # the analyst dies before publishing a release
+
+        threads.append(threading.Thread(target=clients_main, daemon=True))
+        for thread in threads:
+            thread.start()
+        analyst = AnalystNode(
+            QUERY,
+            hub.endpoint("analyst"),
+            ["prover-0", "prover-1"],
+            group="p64-sim",
+            nb_override=16,
+            rng=SeededRNG(seed),
+            timeout=2.0,
+        )
+        start = time.monotonic()
+        with pytest.raises(ProtocolAbort) as err:
+            analyst.run()
+        assert err.value.party == "prover-1"
+        assert time.monotonic() - start < 20.0
+
+    def test_dead_prover_aborts_attributed_over_sockets(self):
+        """Same death over TCP: the closed socket is attributed to the
+        dead prover immediately (no timeout wait)."""
+        from repro.net.transport import SocketTransport
+
+        seed = "die-socket"
+        listener = SocketTransport.listen("analyst")
+        threads = []
+
+        def server_main(name, cls):
+            transport = SocketTransport.connect(name, "analyst", port=listener.port)
+            try:
+                cls(transport, SeededRNG(seed).fork(name), timeout=10.0).run()
+            except (ProtocolAbort, SystemExit):
+                # The dying prover exits with its socket closed, as a
+                # crashed process would; the survivor aborts once the
+                # analyst hangs up.
+                transport.close()
+
+        for name, cls in [("prover-0", ServerNode), ("prover-1", _DieBeforeMorra)]:
+            threads.append(
+                threading.Thread(target=server_main, args=(name, cls), daemon=True)
+            )
+
+        def clients_main():
+            transport = SocketTransport.connect("clients", "analyst", port=listener.port)
+            try:
+                ClientRunner(
+                    transport, QUERY, [1, 0, 1], rng=SeededRNG(seed), timeout=10.0
+                ).run()
+            except ProtocolAbort:
+                pass  # the analyst dies before publishing a release
+
+        threads.append(threading.Thread(target=clients_main, daemon=True))
+        for thread in threads:
+            thread.start()
+        listener.accept(3, 10.0)
+        analyst = AnalystNode(
+            QUERY,
+            listener,
+            ["prover-0", "prover-1"],
+            group="p64-sim",
+            nb_override=16,
+            rng=SeededRNG(seed),
+            timeout=10.0,
+        )
+        start = time.monotonic()
+        with pytest.raises(ProtocolAbort) as err:
+            analyst.run()
+        assert err.value.party == "prover-1"
+        # Attribution came from the closed socket, not a timeout expiry.
+        assert time.monotonic() - start < 8.0
+        listener.close()
+
+
+class TestAsyncPeerDeath:
+    def test_dead_session_contained_others_release(self):
+        """Multiplexed front-end, N=2: session 1's prover-1 dies between
+        COMMIT_COINS and MORRA.  Session 1 ends in an attributed
+        ProtocolAbort; session 0 still releases byte-identical to its
+        solo run."""
+        run = "die-aio"
+        servers = ["prover-0", "prover-1"]
+
+        def seed(s):
+            return f"{run}/s{s}"
+
+        async def main():
+            listener = await AsyncSocketTransport.listen("analyst")
+            loop = asyncio.get_running_loop()
+            transports = []
+            tasks = []
+            for name in servers:
+                transport = await AsyncSocketTransport.connect(
+                    name, "analyst", port=listener.port
+                )
+                transports.append(transport)
+                for s in range(2):
+                    cls = (
+                        _DieBeforeMorra
+                        if (s == 1 and name == "prover-1")
+                        else ServerNode
+                    )
+                    node = cls(
+                        SessionChannel(transport, s, loop),
+                        SeededRNG(seed(s)).fork(name),
+                        timeout=10.0,
+                    )
+                    tasks.append(loop.run_in_executor(None, node.run))
+            clients = await AsyncSocketTransport.connect(
+                "clients", "analyst", port=listener.port
+            )
+            transports.append(clients)
+            runner = AsyncClientRunner(
+                clients,
+                {s: (QUERY, [1, 0, 1], SeededRNG(seed(s))) for s in range(2)},
+                timeout=10.0,
+            )
+            await listener.accept(3, 10.0)
+            mux = SessionMux(
+                [
+                    SessionSpec(
+                        QUERY,
+                        rng=SeededRNG(seed(s)),
+                        group="p64-sim",
+                        nb_override=16,
+                    )
+                    for s in range(2)
+                ],
+                listener,
+                servers,
+                timeout=3.0,
+            )
+            await asyncio.gather(mux.run(), runner.run(), return_exceptions=True)
+            await asyncio.gather(*tasks, return_exceptions=True)
+            for transport in transports:
+                await transport.aclose()
+            await listener.aclose()
+            return mux
+
+        start = time.monotonic()
+        mux = asyncio.run(main())
+        assert time.monotonic() - start < 60.0
+
+        # The dead peer's session aborted, attributed.
+        assert isinstance(mux.errors[1], ProtocolAbort)
+        assert mux.errors[1].party == "prover-1"
+        assert mux.results[1] is None
+
+        # The healthy session is untouched: byte-identical to solo.
+        assert mux.errors[0] is None, mux.errors[0]
+        release = mux.results[0].release
+        assert release.accepted
+        solo = Session(
+            QUERY,
+            num_provers=2,
+            group="p64-sim",
+            nb_override=16,
+            rng=SeededRNG(seed(0)),
+        )
+        solo.submit([1, 0, 1])
+        assert encode_message(solo.release().release) == encode_message(release)

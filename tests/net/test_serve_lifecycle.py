@@ -1,0 +1,161 @@
+"""Serving-layer lifecycle regressions: startup leaks and teardown stalls.
+
+Two bugs fixed in the serve layer, pinned here:
+
+* a failed ``accept`` in ``_start_socket`` used to leak every started
+  child process *and* the listening socket — the cleanup closure was
+  only returned on success;
+* peer shutdown used to be serial with a full protocol-timeout recv per
+  peer, so one dead peer stalled teardown by timeout × remaining peers,
+  and the bare ``except ReproError: pass`` discarded which peer was
+  dead.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.api.queries import CountQuery
+from repro.core.messages import AuditRecord
+from repro.errors import ProtocolAbort
+from repro.net import serve
+from repro.net.nodes import shutdown_peers
+from repro.net.transport import InMemoryHub
+from repro.net.wire import decode_control, encode_reply
+
+DELTA = 2**-10
+
+
+class _RecordingContext:
+    """Wraps a multiprocessing context so the test can see every child
+    the serve layer spawns (they are otherwise unreachable after a
+    startup failure — which is exactly the bug)."""
+
+    def __init__(self, context, spawned):
+        self._context = context
+        self._spawned = spawned
+
+    def Process(self, *args, **kwargs):
+        process = self._context.Process(*args, **kwargs)
+        self._spawned.append(process)
+        return process
+
+
+class TestFailedStartupLeaks:
+    def test_failed_socket_accept_terminates_children(self, monkeypatch):
+        """Children that never handshake force an accept timeout; the
+        startup must terminate every started child and close the
+        listener instead of leaking them."""
+
+        def never_connects(*args, **kwargs):  # runs in the forked child
+            time.sleep(120)
+
+        monkeypatch.setattr(serve, "_server_main_socket", never_connects)
+        monkeypatch.setattr(serve, "_clients_main_socket", never_connects)
+        spawned = []
+        real_get_context = serve.get_context
+        monkeypatch.setattr(
+            serve,
+            "get_context",
+            lambda kind: _RecordingContext(real_get_context(kind), spawned),
+        )
+
+        query = CountQuery(epsilon=1.0, delta=DELTA)
+        start = time.monotonic()
+        with pytest.raises(ProtocolAbort):
+            serve._start_socket(
+                query,
+                [1, 0],
+                ["prover-0", "prover-1"],
+                [],
+                "leak",
+                "127.0.0.1",
+                0,
+                1.0,
+            )
+        assert time.monotonic() - start < 30.0
+        assert len(spawned) == 3  # 2 servers + 1 client runner
+        for process in spawned:
+            process.join(timeout=10.0)
+        assert all(not process.is_alive() for process in spawned), (
+            "failed accept leaked live children"
+        )
+
+    def test_successful_socket_startup_unaffected(self):
+        """The guarded startup still hands back a working transport and
+        cleanup on the happy path (exercised fully by run_distributed_
+        session elsewhere; here just the guard's pass-through)."""
+        outcome = serve.run_distributed_session(
+            CountQuery(epsilon=1.0, delta=DELTA),
+            [1, 0, 1],
+            transport="socket",
+            num_servers=1,
+            group="p64-sim",
+            nb_override=16,
+            seed="lifecycle",
+            timeout=60.0,
+        )
+        assert outcome["accepted"] and outcome["byte_identical"]
+
+
+class TestConcurrentShutdown:
+    def _hub_with_peers(self, alive, dead):
+        hub = InMemoryHub()
+        analyst = hub.endpoint("analyst")
+        threads = []
+        for name in alive:
+            endpoint = hub.endpoint(name)
+
+            def ack(endpoint=endpoint):
+                frame = endpoint.recv("analyst", timeout=10.0)
+                kind, _ = decode_control(frame)
+                assert kind == "shutdown"
+                endpoint.send("analyst", encode_reply())
+
+            threads.append(threading.Thread(target=ack, daemon=True))
+        for name in dead:
+            hub.endpoint(name)  # registered, never answers
+        for thread in threads:
+            thread.start()
+        return analyst, threads
+
+    def test_one_dead_peer_costs_grace_not_timeout_per_peer(self):
+        """Old behavior: timeout recv per dead peer, serially — here
+        60 s × 1 dead peer before the last healthy ack.  New behavior:
+        every shutdown is sent first, acks collect under one short
+        shared grace, and the dead peer is named in the audit."""
+        analyst, threads = self._hub_with_peers(
+            alive=["prover-0", "prover-2"], dead=["prover-1"]
+        )
+        audit = AuditRecord()
+        start = time.monotonic()
+        unresponsive = shutdown_peers(
+            analyst,
+            ["prover-0", "prover-1", "prover-2"],
+            60.0,
+            audit,
+            grace=0.5,
+        )
+        elapsed = time.monotonic() - start
+        assert unresponsive == ["prover-1"]
+        assert elapsed < 10.0, f"teardown stalled {elapsed:.1f}s"
+        assert any(
+            "unresponsive at shutdown" in note and "prover-1" in note
+            for note in audit.notes
+        ), audit.notes
+        for thread in threads:
+            thread.join(timeout=10.0)
+
+    def test_all_healthy_peers_ack_and_nothing_is_noted(self):
+        analyst, threads = self._hub_with_peers(
+            alive=["prover-0", "prover-1"], dead=[]
+        )
+        audit = AuditRecord()
+        unresponsive = shutdown_peers(
+            analyst, ["prover-0", "prover-1"], 60.0, audit, grace=5.0
+        )
+        assert unresponsive == []
+        assert audit.notes == []
+        for thread in threads:
+            thread.join(timeout=10.0)

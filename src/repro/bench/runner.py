@@ -54,6 +54,7 @@ __all__ = [
     "run_multiexp",
     "run_streaming",
     "write_bench_json",
+    "host_metadata",
     "EXPERIMENTS",
 ]
 
@@ -438,17 +439,41 @@ def run_separation(*, seed: str = "separation") -> list[dict]:
     ]
 
 
+def host_metadata() -> dict:
+    """The measurement context a BENCH row is meaningless without.
+
+    ``cpu_count`` is the load-bearing field: scaling claims (sharded,
+    distributed, fleet) measured on a 1-core container show
+    *coordination overhead*, not parallel speedup, and earlier BENCH
+    files repeated exactly that mistake because the rows carried no
+    record of where they were measured (see ROADMAP "Measurement
+    caveats").
+    """
+    import platform
+
+    return {
+        "cpu_count": os.cpu_count() or 1,
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+    }
+
+
 def write_bench_json(name: str, rows: list[dict]) -> Path:
     """Persist experiment rows as ``BENCH_<name>.json``.
 
     The file lands in ``REPRO_BENCH_DIR`` (default: the current working
     directory, i.e. the repo root when run via ``python -m repro``), and
     is the checked-in evidence format for perf-sensitive changes.
+    Every row is stamped with :func:`host_metadata` (the row's own keys
+    win) so a scaling number can never again be read without knowing
+    how many cores measured it.
     """
     directory = Path(os.environ.get("REPRO_BENCH_DIR", "."))
     directory.mkdir(parents=True, exist_ok=True)
     path = directory / f"BENCH_{name}.json"
-    path.write_text(json.dumps({"bench": name, "rows": rows}, indent=2) + "\n")
+    metadata = host_metadata()
+    stamped = [{**metadata, **row} for row in rows]
+    path.write_text(json.dumps({"bench": name, "rows": stamped}, indent=2) + "\n")
     return path
 
 

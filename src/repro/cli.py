@@ -52,10 +52,35 @@ def _serve_parser() -> argparse.ArgumentParser:
         "socket; each session is byte-identical to its solo seeded run)",
     )
     parser.add_argument(
+        "--fleet",
+        action="store_true",
+        help="serve through a dispatcher-orchestrated fleet: --frontends "
+        "SessionMux worker processes (capacity --capacity sessions each, "
+        "optionally --shards workers per session) behind one admission "
+        "point with health checks, work-stealing, drain and crash restart",
+    )
+    parser.add_argument(
+        "--frontends",
+        type=int,
+        default=2,
+        help="fleet front-end process count F (with --fleet)",
+    )
+    parser.add_argument(
+        "--capacity",
+        type=int,
+        default=2,
+        help="concurrent sessions per fleet front-end (with --fleet)",
+    )
+    parser.add_argument(
+        "--fleet-config",
+        default=None,
+        help="JSON fleet config file; overrides the individual fleet flags",
+    )
+    parser.add_argument(
         "--sessions",
         type=int,
         default=2,
-        help="concurrent session count N for --async serving",
+        help="total session count N for --async / --fleet serving",
     )
     parser.add_argument("--servers", type=int, default=2, help="prover count K")
     parser.add_argument(

@@ -27,6 +27,12 @@ This package closes that gap without touching the protocol engine:
   a :class:`SessionMux` front-end that multiplexes N concurrent sessions
   in one process, each driving the unchanged engine (``python -m repro
   serve --async --sessions N``).
+* :mod:`repro.net.fleet` — the serving fleet: a
+  :class:`FleetDispatcher` admits a stream of session requests and
+  places them across a pool of :class:`SessionMux` front-end processes
+  (each optionally backed by shard workers — the ``--async --shards``
+  composition), with health checks, work-stealing, graceful drain and
+  crash restart (``python -m repro serve --fleet``).
 * :mod:`repro.net.serve` — the ``python -m repro serve`` demo driver: a
   full session as separate OS processes, byte-identical to the
   in-process path under seeded RNG.
@@ -39,6 +45,13 @@ from repro.net.aio import (
     SessionChannel,
     SessionMux,
     SessionSpec,
+)
+from repro.net.fleet import (
+    FleetConfig,
+    FleetDispatcher,
+    SessionOutcome,
+    SessionRequest,
+    run_fleet,
 )
 from repro.net.nodes import AnalystNode, ClientRunner, RemoteProver, ServerNode
 from repro.net.serve import run_async_sessions, run_distributed_session
@@ -75,4 +88,9 @@ __all__ = [
     "SessionSpec",
     "AsyncServerNode",
     "AsyncClientRunner",
+    "FleetConfig",
+    "FleetDispatcher",
+    "SessionRequest",
+    "SessionOutcome",
+    "run_fleet",
 ]

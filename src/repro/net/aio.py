@@ -83,6 +83,15 @@ __all__ = [
 # lives on the connection record.
 _FAILED = object()
 
+
+class _SessionMap(dict):
+    """Per-session bookkeeping: a dict that reads ``None`` for sessions
+    it has no entry for, so ``mux.results[s]``/``mux.errors[s]`` keep the
+    pre-dynamic-mux list semantics (absent == not recorded)."""
+
+    def __missing__(self, key):
+        return None
+
 _DEFAULT_HANDSHAKE_TIMEOUT = 30.0
 
 # Inbound frames a (peer, session) queue buffers before the reader task
@@ -147,8 +156,17 @@ class AsyncSocketTransport:
         self._server: asyncio.base_events.Server | None = None
         self._accepted: asyncio.Queue[str] = asyncio.Queue()
         self._accept_expected: list | None = None
+        self._accept_active = False
         self._accept_deadline: float | None = None
         self._locked_down = False
+        # Standing expectation filter, consulted whenever no accept() is
+        # in flight.  A fleet front-end keeps its listener open for the
+        # whole deployment (sessions arrive dynamically, each bringing
+        # scoped peer connections), so unlike the static-topology mux it
+        # cannot lock down — this filter is what keeps the idle listener
+        # from handshaking strangers between placements (default None
+        # preserves the historical allow-any behavior; [] drops all).
+        self.default_expected: list | None = None
         self.port: int | None = None
 
     # Construction -----------------------------------------------------------
@@ -256,7 +274,9 @@ class AsyncSocketTransport:
         session's traffic (exact-scope connections outrank the ANY one
         on the send path).
         """
-        expected = self._accept_expected
+        expected = (
+            self._accept_expected if self._accept_active else self.default_expected
+        )
         if expected is None:
             return True
         for entry in expected:
@@ -299,6 +319,7 @@ class AsyncSocketTransport:
         deadline = None if timeout is None else time.monotonic() + timeout
         self._accept_deadline = deadline
         self._accept_expected = list(expected) if expected is not None else None
+        self._accept_active = True
         names: list[str] = []
         try:
             while len(names) < count:
@@ -315,6 +336,7 @@ class AsyncSocketTransport:
         finally:
             self._accept_deadline = None
             self._accept_expected = None
+            self._accept_active = False
 
     def lockdown(self) -> None:
         """Refuse all future connections: the topology is complete.
@@ -504,6 +526,34 @@ class AsyncSocketTransport:
                 raise ProtocolAbort(reason, party=peer)
             return frame
 
+    async def release_session(self, session: int) -> None:
+        """Forget one finished session: close its scoped connections and
+        drop its demux queues.
+
+        A long-lived front-end (the fleet worker) serves an unbounded
+        stream of sessions, each arriving with its own scoped peer
+        connections; without this the ``_conns``/``_queues`` maps — and
+        the dead sockets behind them — grow for the deployment's
+        lifetime.  ``SESSION_ANY`` connections are untouched: they belong
+        to every session.
+        """
+        if not 0 <= session < SESSION_ANY:
+            raise ParameterError("session id out of range")
+        for (peer, scope), conn in list(self._conns.items()):
+            if scope != session:
+                continue
+            del self._conns[(peer, scope)]
+            if conn.task is not None:
+                conn.task.cancel()
+            conn.writer.close()
+            if conn.task is not None:
+                try:
+                    await conn.task
+                except (asyncio.CancelledError, Exception):  # pragma: no cover
+                    pass
+        for key in [k for k in self._queues if k[1] == session]:
+            del self._queues[key]
+
     async def aclose(self) -> None:
         """Close the listener and every connection; cancel reader tasks."""
         if self._server is not None:
@@ -566,7 +616,12 @@ class SessionSpec:
 
     ``rng`` seeds the session exactly as it would a solo
     :class:`repro.api.Session` — same fork labels, hence byte-identical
-    releases.
+    releases.  A non-empty ``shards`` names :class:`ShardWorker` peers
+    (scoped to this session on the shared transport) and the session is
+    driven by a :class:`~repro.net.shard.ShardedAnalyst` instead of a
+    plain :class:`~repro.net.nodes.AnalystNode` — the ``--async
+    --shards`` composition: one front-end multiplexes N sessions, each
+    fanning its verification across S shard workers.
     """
 
     query: Query
@@ -574,6 +629,7 @@ class SessionSpec:
     group: str = "modp-2048"
     nb_override: int | None = None
     chunk_size: int | None = None
+    shards: tuple[str, ...] = ()
 
 
 class SessionMux:
@@ -590,59 +646,127 @@ class SessionMux:
     ``run`` returns per-session outcomes; a failed session (e.g. a dead
     prover mid-phase) records its exception without disturbing the
     others.
+
+    Two serving modes share the machinery:
+
+    * **static** — construct with the full ``specs`` list and ``await
+      run()``, as the ``--async`` topology does: every session starts at
+      once and the executor is torn down when the batch completes;
+    * **dynamic** — construct with ``specs=None`` and call
+      :meth:`serve_session` per placement, as the fleet worker does:
+      sessions arrive as a stream, up to ``max_concurrency`` run at a
+      time, and the mux lives until :meth:`close`.
+
+    Results, errors and timings are dictionaries keyed by session id
+    (static mode uses ids ``0..N-1``, so list-style indexing still
+    reads naturally).
     """
 
     def __init__(
         self,
-        specs: list[SessionSpec],
+        specs: list[SessionSpec] | None,
         transport: AsyncSocketTransport,
         servers: list[str],
         *,
         clients_peer: str = "clients",
         timeout: float | None = 60.0,
+        max_concurrency: int | None = None,
     ) -> None:
-        if not specs:
+        if specs is not None and not specs:
             raise ParameterError("need at least one session spec")
-        self.specs = list(specs)
+        self.specs = list(specs) if specs is not None else None
         self.transport = transport
         self.servers = list(servers)
         self.clients_peer = clients_peer
         self.timeout = timeout
-        self.results: list[EngineResult | None] = [None] * len(self.specs)
-        self.errors: list[BaseException | None] = [None] * len(self.specs)
-        self.session_seconds: list[float | None] = [None] * len(self.specs)
+        if max_concurrency is None:
+            max_concurrency = len(self.specs) if self.specs else 8
+        if max_concurrency < 1:
+            raise ParameterError("max_concurrency must be >= 1")
+        self.max_concurrency = max_concurrency
+        self.results: dict[int, EngineResult] = _SessionMap()
+        self.errors: dict[int, BaseException] = _SessionMap()
+        self.session_seconds: dict[int, float] = _SessionMap()
+        self._executor: ThreadPoolExecutor | None = None
+
+    def _session_executor(self) -> ThreadPoolExecutor:
+        # Sized to the concurrency cap: a session queued behind a full
+        # executor would leave its peers blocked in their setup recv
+        # until the protocol timeout, so the cap must bound admissions
+        # (the fleet worker's capacity), never surprise-serialize them.
+        if self._executor is None:
+            self._executor = ThreadPoolExecutor(
+                max_workers=self.max_concurrency, thread_name_prefix="mux-session"
+            )
+        return self._executor
 
     def _serve_one(
         self, session: int, spec: SessionSpec, loop: asyncio.AbstractEventLoop
     ) -> EngineResult:
         start = time.perf_counter()
         channel = SessionChannel(self.transport, session, loop)
-        analyst = AnalystNode(
-            spec.query,
-            channel,
-            self.servers,
-            group=spec.group,
-            nb_override=spec.nb_override,
-            chunk_size=spec.chunk_size,
-            rng=spec.rng if spec.rng is not None else SystemRNG(),
-            clients_peer=self.clients_peer,
-            timeout=self.timeout,
-        )
+        if spec.shards:
+            # Late import: shard.py imports from nodes.py which sits
+            # beside this module; importing at call time keeps the
+            # module graph acyclic.
+            from repro.net.shard import ShardedAnalyst
+
+            analyst = ShardedAnalyst(
+                spec.query,
+                channel,
+                self.servers,
+                list(spec.shards),
+                group=spec.group,
+                nb_override=spec.nb_override,
+                chunk_size=spec.chunk_size,
+                rng=spec.rng if spec.rng is not None else SystemRNG(),
+                clients_peer=self.clients_peer,
+                timeout=self.timeout,
+            )
+        else:
+            analyst = AnalystNode(
+                spec.query,
+                channel,
+                self.servers,
+                group=spec.group,
+                nb_override=spec.nb_override,
+                chunk_size=spec.chunk_size,
+                rng=spec.rng if spec.rng is not None else SystemRNG(),
+                clients_peer=self.clients_peer,
+                timeout=self.timeout,
+            )
         result = analyst.run()
         self.session_seconds[session] = time.perf_counter() - start
         return result
 
-    async def run(self) -> list[EngineResult | None]:
-        """Serve every session concurrently; returns results (None where a
-        session failed — see :attr:`errors`)."""
+    async def serve_session(self, session: int, spec: SessionSpec) -> EngineResult:
+        """Serve one session to completion (dynamic mode's unit of work).
+
+        Runs the unchanged analyst on an executor thread; the result (or
+        the failure) is recorded under ``session`` and returned (raised).
+        """
         loop = asyncio.get_running_loop()
-        executor = ThreadPoolExecutor(
-            max_workers=len(self.specs), thread_name_prefix="mux-session"
-        )
         try:
-            outcomes = await asyncio.gather(
+            result = await loop.run_in_executor(
+                self._session_executor(), self._serve_one, session, spec, loop
+            )
+        except BaseException as exc:
+            self.errors[session] = exc
+            raise
+        self.results[session] = result
+        return result
+
+    async def run(self) -> dict[int, EngineResult]:
+        """Serve every constructor-given session concurrently; returns the
+        results map (a failed session appears in :attr:`errors` instead)."""
+        if self.specs is None:
+            raise ParameterError(
+                "this mux is dynamic: place sessions with serve_session"
+            )
+        try:
+            await asyncio.gather(
                 *[
-                    loop.run_in_executor(executor, self._serve_one, s, spec, loop)
+                    self.serve_session(s, spec)
                     for s, spec in enumerate(self.specs)
                 ],
                 return_exceptions=True,
@@ -650,13 +774,14 @@ class SessionMux:
         finally:
             # Never block the event loop on thread teardown; session
             # threads hold recv timeouts and die on their own.
-            executor.shutdown(wait=False)
-        for s, outcome in enumerate(outcomes):
-            if isinstance(outcome, BaseException):
-                self.errors[s] = outcome
-            else:
-                self.results[s] = outcome
+            self.close()
         return self.results
+
+    def close(self) -> None:
+        """Release the session executor (idempotent)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=False)
+            self._executor = None
 
 
 class AsyncServerNode:

@@ -68,6 +68,7 @@ __all__ = [
     "AnalystNode",
     "ClientRunner",
     "shutdown_peers",
+    "abort_peers",
 ]
 
 _ANALYST = "analyst"
@@ -120,6 +121,27 @@ def shutdown_peers(transport, peers, timeout, audit=None, *, grace=_SHUTDOWN_GRA
     if unresponsive and audit is not None:
         audit.note("unresponsive at shutdown: " + ", ".join(unresponsive))
     return unresponsive
+
+
+def abort_peers(transport, peers, reason, *, clients_peer=None):
+    """Tell every peer of a dead session to stop waiting, best-effort.
+
+    ``shutdown`` is the *healthy* teardown: request/ack, run after a
+    release.  A session that dies mid-phase (protocol abort, front-end
+    drain-kill) has no release and may have peers blocked in recv for
+    the full protocol timeout — this one-way ``abort`` control turns
+    that silent hang into a prompt, attributed exit: servers and shard
+    workers return, the client runner raises a :class:`ProtocolAbort`
+    naming the front-end.  Send failures are swallowed: an already-dead
+    peer is exactly who this is for.
+    """
+    frame = wire.encode_control("abort", reason.encode())
+    targets = list(peers) + ([clients_peer] if clients_peer is not None else [])
+    for name in targets:
+        try:
+            transport.send(name, frame)
+        except (ReproError, OSError):
+            pass
 
 
 class RemoteProver(MorraParticipant):
@@ -337,6 +359,10 @@ class ServerNode:
                     ctrl, _ = wire.decode_control(frame)
                     if ctrl == "shutdown":
                         self.transport.send(self.analyst, wire.encode_reply())
+                        return
+                    if ctrl == "abort":
+                        # One-way: the session died on the front-end; no
+                        # reply is expected, just a prompt exit.
                         return
                     self.transport.send(
                         self.analyst,
@@ -620,6 +646,7 @@ class ClientRunner:
 
     def run(self) -> Release:
         ctrl, parts = wire.decode_control(self.transport.recv(self.analyst, self.timeout))
+        self._check_abort(ctrl, parts)
         if ctrl != "params" or not parts:
             raise ProtocolAbort("expected a params announcement", party=self.analyst)
         params = wire.decode_params(parts[0])
@@ -637,6 +664,7 @@ class ClientRunner:
             self.transport.send(self.analyst, frame)
         self.transport.send(self.analyst, wire.encode_control("finalize"))
         ctrl, parts = wire.decode_control(self.transport.recv(self.analyst, self.timeout))
+        self._check_abort(ctrl, parts)
         if ctrl != "release" or not parts:
             raise ProtocolAbort("expected the release", party=self.analyst)
         release = decode_message(params.group, parts[0])
@@ -644,3 +672,10 @@ class ClientRunner:
             raise EncodingError("release frame carried a different message")
         self.release = release
         return release
+
+    def _check_abort(self, ctrl: str, parts: list[bytes]) -> None:
+        if ctrl == "abort":
+            reason = parts[0].decode() if parts else "session aborted"
+            raise ProtocolAbort(
+                f"session aborted by front-end: {reason}", party=self.analyst
+            )

@@ -20,6 +20,7 @@ from __future__ import annotations
 import asyncio
 import socket
 import statistics
+import sys
 import threading
 import time
 from multiprocessing import get_context
@@ -27,7 +28,7 @@ from multiprocessing import get_context
 from repro.api.queries import CountQuery, HistogramQuery, Query
 from repro.api.session import Session
 from repro.crypto.serialization import encode_message
-from repro.errors import ParameterError
+from repro.errors import ParameterError, ProtocolAbort
 from repro.net.aio import (
     AsyncClientRunner,
     AsyncServerNode,
@@ -35,6 +36,7 @@ from repro.net.aio import (
     SessionMux,
     SessionSpec,
 )
+from repro.net.fleet import FleetConfig, run_fleet, session_seed, session_values
 from repro.net.nodes import AnalystNode, ClientRunner, ServerNode
 from repro.net.shard import ShardWorker, ShardedAnalyst
 from repro.net.transport import (
@@ -45,9 +47,23 @@ from repro.net.transport import (
 )
 from repro.utils.rng import RNG, SeededRNG, SystemRNG
 
-__all__ = ["run_distributed_session", "run_async_sessions", "main"]
+__all__ = [
+    "run_distributed_session",
+    "run_async_sessions",
+    "main",
+    "EXIT_PROTOCOL_ABORT",
+    "EXIT_INFRA_CRASH",
+]
 
 _TRANSPORTS = ("memory", "multiprocess", "socket")
+
+# Distinct exit codes so a supervisor (the fleet dispatcher's restart
+# logic, a CI job, an init system) can tell a protocol-level rejection
+# from dead infrastructure without parsing stderr.  0 = released and
+# verified, 1 = released but rejected/mismatched, 2 = usage error
+# (argparse's convention, shared by ParameterError), then:
+EXIT_PROTOCOL_ABORT = 3  # a party broke the protocol; stderr names it
+EXIT_INFRA_CRASH = 4  # sockets/processes/unexpected exceptions died
 
 
 def _root_rng(seed: str | None) -> RNG:
@@ -59,16 +75,11 @@ def _server_rng(seed: str | None, name: str) -> RNG:
     return SeededRNG(seed).fork(name) if seed is not None else SystemRNG()
 
 
-def _session_seed(seed: str | None, session: int) -> str | None:
-    # Every multiplexed session gets its own root seed, so session s is
-    # reproducible solo: Session(query, rng=SeededRNG(f"{seed}/s{s}")).
-    return None if seed is None else f"{seed}/s{session}"
-
-
-def _session_values(values: list, session: int) -> list:
-    # Distinct-but-derived per-session populations for demos/benchmarks.
-    shift = session % len(values) if values else 0
-    return values[shift:] + values[:shift]
+# Every multiplexed session gets its own root seed (f"{seed}/s{s}") and
+# a rotated population; the canonical definitions live in repro.net.fleet
+# so the async and fleet drivers can never drift apart on them.
+_session_seed = session_seed
+_session_values = session_values
 
 
 def _terminate_processes(processes) -> None:
@@ -430,12 +441,50 @@ def _async_clients_main(
     asyncio.run(go())
 
 
+def _async_shard_main(
+    name: str,
+    host: str,
+    port: int,
+    sessions: int,
+    timeout: float = 60.0,
+) -> None:
+    """Child process: one blocking ShardWorker thread per session, each
+    over its own session-scoped connection (the worker itself is the
+    unchanged single-session code — scoped channels do the routing)."""
+
+    def one(session: int) -> None:
+        try:
+            transport = SocketTransport.connect(
+                name, "analyst", host, port, session=session, timeout=timeout
+            )
+        except OSError:
+            return
+        try:
+            ShardWorker(transport, timeout=timeout).run()
+        except ParameterError:
+            raise
+        except Exception:
+            pass  # an aborted session already has attribution front-end side
+        finally:
+            transport.close()
+
+    threads = [
+        threading.Thread(target=one, args=(s,), daemon=True)
+        for s in range(sessions)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+
 def run_async_sessions(
     query: Query,
     values,
     *,
     sessions: int = 2,
     num_servers: int = 2,
+    shards: int = 0,
     group: str = "p64-sim",
     nb_override: int | None = 64,
     chunk_size: int | None = None,
@@ -458,16 +507,35 @@ def run_async_sessions(
     session through a solo in-process :class:`Session` and compares the
     wire-encoded releases byte for byte.
 
+    ``shards > 0`` backs *every* session with that many
+    :class:`ShardWorker` peers — the ``--async --shards`` composition:
+    one front-end multiplexes N sessions, each fanning verification
+    across S session-scoped shard workers, with the effective chunk size
+    pinned so the solo replay stays byte-identical.
+
     ``reply_delay`` makes every server sleep that long before each RPC
     reply — simulated remote-prover latency, the idle time the mux
     exists to overlap (benchmark knob, zero by default).
     """
     if sessions < 1:
         raise ParameterError("sessions must be >= 1")
+    if shards < 0:
+        raise ParameterError("shards must be >= 0 (0 = unsharded sessions)")
     values = list(values)
     server_names = [f"prover-{k}" for k in range(num_servers)]
+    shard_names = tuple(f"shard-{j}" for j in range(shards))
     if verify_equivalence is None:
         verify_equivalence = seed is not None
+
+    params = query.build_params(
+        num_provers=num_servers, group=group, nb_override=nb_override
+    )
+    effective_chunk = chunk_size
+    if shard_names and effective_chunk is None:
+        # The sharded default (at least two chunks per shard), pinned
+        # here so the solo-replay equivalence check runs with the same
+        # chunking the ShardedAnalyst will pick.
+        effective_chunk = max(1, -(-params.nb // (2 * len(shard_names))))
 
     # Bind the listener before forking so children know the port; the
     # asyncio server adopts this socket inside the loop.
@@ -486,6 +554,14 @@ def run_async_sessions(
         )
         for name in server_names
     ]
+    processes += [
+        context.Process(
+            target=_async_shard_main,
+            args=(name, host, bound_port, sessions, timeout),
+            daemon=True,
+        )
+        for name in shard_names
+    ]
     processes.append(
         context.Process(
             target=_async_clients_main,
@@ -493,6 +569,9 @@ def run_async_sessions(
             daemon=True,
         )
     )
+    # Servers and clients hold one SESSION_ANY connection each; every
+    # shard child holds one *scoped* connection per session.
+    expected_conns = num_servers + 1 + shards * sessions
 
     mux_box: dict = {}
     start = time.perf_counter()
@@ -501,17 +580,19 @@ def run_async_sessions(
         transport = await AsyncSocketTransport.listen("analyst", sock=listener_sock)
         mux_box["transport"] = transport
         try:
-            # Scope-pinned expectations: every peer of this topology is a
-            # multi-session host, so a hostile handshake claiming an
-            # expected name under a *session* scope (to hijack that
-            # session's routing) is dropped.  Lockdown afterwards — the
-            # topology is complete, late connections are not.
+            # Scope-pinned expectations: the multi-session hosts may only
+            # handshake at SESSION_ANY and each shard worker only at its
+            # own session, so a hostile handshake claiming an expected
+            # name under an unoccupied scope (to hijack that session's
+            # routing) is dropped.  Lockdown afterwards — the topology is
+            # complete, late connections are not.
             await transport.accept(
-                len(processes),
+                expected_conns,
                 timeout,
                 expected=[
                     (name, SESSION_ANY) for name in server_names + ["clients"]
-                ],
+                ]
+                + [(name, s) for name in shard_names for s in range(sessions)],
             )
             transport.lockdown()
             specs = [
@@ -520,7 +601,8 @@ def run_async_sessions(
                     rng=_root_rng(_session_seed(seed, s)),
                     group=group,
                     nb_override=nb_override,
-                    chunk_size=chunk_size,
+                    chunk_size=effective_chunk,
+                    shards=shard_names,
                 )
                 for s in range(sessions)
             ]
@@ -551,11 +633,11 @@ def run_async_sessions(
 
     mux = mux_box["mux"]
     transport = mux_box["transport"]
-    for s, error in enumerate(mux.errors):
+    for _, error in sorted(mux.errors.items()):
         if error is not None:
             raise error
     session_rows = []
-    for s, result in enumerate(mux.results):
+    for s, result in sorted(mux.results.items()):
         release_bytes = encode_message(result.release)
         row = {
             "session": s,
@@ -570,7 +652,7 @@ def run_async_sessions(
                 num_provers=num_servers,
                 group=group,
                 nb_override=nb_override,
-                chunk_size=chunk_size,
+                chunk_size=effective_chunk,
                 rng=_root_rng(_session_seed(seed, s)),
             )
             solo.submit(_session_values(values, s))
@@ -579,21 +661,19 @@ def run_async_sessions(
             )
         session_rows.append(row)
 
-    params = query.build_params(
-        num_provers=num_servers, group=group, nb_override=nb_override
-    )
     outcome = {
         "transport": "async-socket",
         "sessions": sessions,
         "num_servers": num_servers,
+        "shards": shards,
         "n_clients": len(values),
         "nb": params.nb,
         "group": group,
-        "chunk_size": chunk_size,
+        "chunk_size": effective_chunk,
         "reply_delay_s": reply_delay,
         "elapsed_s": elapsed,
         "sessions_per_sec": sessions / elapsed if elapsed else float("inf"),
-        "p50_session_s": statistics.median(mux.session_seconds),
+        "p50_session_s": statistics.median(mux.session_seconds.values()),
         "accepted": all(row["accepted"] for row in session_rows),
         "frontend_bytes_sent": transport.bytes_sent,
         "frontend_bytes_received": transport.bytes_received,
@@ -611,13 +691,37 @@ def run_async_sessions(
 
 
 def main(args) -> int:
-    """Drive the demo from parsed CLI arguments (see ``repro.cli``)."""
+    """Drive the demo from parsed CLI arguments (see ``repro.cli``).
+
+    Exit codes are a supervisor contract shared by every serving mode:
+    0 released+verified, 1 rejected or byte-mismatched, 2 bad usage,
+    :data:`EXIT_PROTOCOL_ABORT` for an attributed protocol abort,
+    :data:`EXIT_INFRA_CRASH` for dead infrastructure — the attributed
+    party (or the failing layer) lands on stderr either way.
+    """
+    try:
+        return _dispatch(args)
+    except ProtocolAbort as exc:
+        party = exc.party if exc.party is not None else "unattributed"
+        print(f"protocol abort (party: {party}): {exc}", file=sys.stderr)
+        return EXIT_PROTOCOL_ABORT
+    except ParameterError as exc:
+        print(f"usage error: {exc}", file=sys.stderr)
+        return 2
+    except Exception as exc:
+        print(f"infrastructure crash: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return EXIT_INFRA_CRASH
+
+
+def _dispatch(args) -> int:
     if args.bins > 1:
         query: Query = HistogramQuery(bins=args.bins, epsilon=1.0, delta=2**-10)
         values = [i % args.bins for i in range(args.clients)]
     else:
         query = CountQuery(epsilon=1.0, delta=2**-10)
         values = [i % 2 for i in range(args.clients)]
+    if getattr(args, "fleet", False):
+        return _main_fleet(args, query, values)
     if getattr(args, "use_async", False):
         return _main_async(args, query, values)
     outcome = run_distributed_session(
@@ -658,13 +762,12 @@ def main(args) -> int:
 
 
 def _main_async(args, query: Query, values) -> int:
-    if args.shards:
-        raise ParameterError("--async does not serve sharded front-ends yet")
     outcome = run_async_sessions(
         query,
         values,
         sessions=args.sessions,
         num_servers=args.servers,
+        shards=args.shards,
         group=args.group,
         nb_override=args.nb,
         chunk_size=args.chunk,
@@ -673,9 +776,11 @@ def _main_async(args, query: Query, values) -> int:
         port=args.port,
         timeout=args.timeout,
     )
+    sharded = f", S={outcome['shards']} shards/session" if outcome["shards"] else ""
     print(
         f"== async multiplexed serving (N={outcome['sessions']} sessions, "
-        f"K={outcome['num_servers']}, n={outcome['n_clients']} clients/session, "
+        f"K={outcome['num_servers']}{sharded}, "
+        f"n={outcome['n_clients']} clients/session, "
         f"nb={outcome['nb']}, {outcome['group']}) =="
     )
     for row in outcome["session_rows"]:
@@ -703,4 +808,71 @@ def _main_async(args, query: Query, values) -> int:
         )
         if not outcome["byte_identical"]:
             return 1
+    return 0 if outcome["accepted"] else 1
+
+
+def _main_fleet(args, query: Query, values) -> int:
+    if getattr(args, "fleet_config", None):
+        config = FleetConfig.from_file(args.fleet_config)
+    else:
+        config = FleetConfig(
+            frontends=args.frontends,
+            capacity=args.capacity,
+            shards=args.shards,
+            num_servers=args.servers,
+            group=args.group,
+            nb_override=args.nb,
+            chunk_size=args.chunk,
+            host=args.host,
+            timeout=args.timeout,
+        )
+    outcome = run_fleet(
+        query,
+        values,
+        sessions=args.sessions,
+        config=config,
+        seed=args.seed,
+    )
+    sharded = f", S={outcome['shards']} shards/session" if outcome["shards"] else ""
+    print(
+        f"== fleet serving (F={outcome['frontends']} front-ends x "
+        f"capacity {outcome['capacity']}{sharded}, "
+        f"K={outcome['num_servers']}, N={outcome['sessions']} sessions, "
+        f"n={outcome['n_clients']} clients/session, "
+        f"nb={outcome['nb']}, {outcome['group']}) =="
+    )
+    for row in outcome["session_rows"]:
+        if row["status"] == "released":
+            estimate = tuple(round(v, 2) for v in row["estimate"])
+            line = (
+                f"session {row['session']} [{row['frontend']}]: released "
+                f"accepted={row['accepted']} estimate={estimate} "
+                f"elapsed={row['elapsed_s']:.2f}s"
+            )
+            if "byte_identical" in row:
+                line += f" byte_identical={row['byte_identical']}"
+        else:
+            line = (
+                f"session {row['session']} [{row['frontend']}]: "
+                f"{row['status']} ({row.get('reason')})"
+            )
+        print(line)
+    print(f"wall time:         {outcome['elapsed_s']:.2f}s")
+    print(f"aggregate:         {outcome['sessions_per_sec']:.2f} sessions/s")
+    print(
+        f"fleet health:      released={outcome['released']} "
+        f"aborted={outcome['aborted']} crashed={outcome['crashed']} "
+        f"restarts={sum(outcome['restarts'].values())} "
+        f"stolen={outcome['stolen']}"
+    )
+    print(f"front-ends used:   {', '.join(outcome['frontends_used']) or 'none'}")
+    if "byte_identical" in outcome:
+        print(
+            "byte-identical to solo in-process Sessions: "
+            f"{outcome['byte_identical']}"
+        )
+        if not outcome["byte_identical"]:
+            return 1
+    if outcome["released"] < outcome["sessions"]:
+        return 1
     return 0 if outcome["accepted"] else 1

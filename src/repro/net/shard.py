@@ -141,6 +141,10 @@ class ShardWorker:
                     if ctrl == "shutdown":
                         self.transport.send(self.analyst, wire.encode_reply())
                         return
+                    if ctrl == "abort":
+                        # One-way: the front-end's session died; exit
+                        # promptly instead of waiting out the timeout.
+                        return
                     self._note_error(f"unexpected control {ctrl!r}")
                     continue
                 try:

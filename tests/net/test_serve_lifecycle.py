@@ -1,6 +1,6 @@
 """Serving-layer lifecycle regressions: startup leaks and teardown stalls.
 
-Two bugs fixed in the serve layer, pinned here:
+Bugs fixed in the serve layer, pinned here:
 
 * a failed ``accept`` in ``_start_socket`` used to leak every started
   child process *and* the listening socket — the cleanup closure was
@@ -8,7 +8,12 @@ Two bugs fixed in the serve layer, pinned here:
 * peer shutdown used to be serial with a full protocol-timeout recv per
   peer, so one dead peer stalled teardown by timeout × remaining peers,
   and the bare ``except ReproError: pass`` discarded which peer was
-  dead.
+  dead;
+* ``repro serve`` used to exit the same way for a protocol abort and
+  dead infrastructure, so a supervisor (the fleet dispatcher, CI, an
+  init system) could not tell "a party cheated/went silent" from "the
+  serving substrate broke" — now they are distinct exit codes with the
+  attributed party on stderr.
 """
 
 import threading
@@ -17,8 +22,9 @@ import time
 import pytest
 
 from repro.api.queries import CountQuery
+from repro.cli import _serve_parser
 from repro.core.messages import AuditRecord
-from repro.errors import ProtocolAbort
+from repro.errors import ParameterError, ProtocolAbort
 from repro.net import serve
 from repro.net.nodes import shutdown_peers
 from repro.net.transport import InMemoryHub
@@ -159,3 +165,60 @@ class TestConcurrentShutdown:
         assert audit.notes == []
         for thread in threads:
             thread.join(timeout=10.0)
+
+
+class TestExitCodes:
+    """`repro serve` exit codes: a supervisor must be able to tell a
+    protocol abort (restartable policy decision) from dead
+    infrastructure (restart the substrate) without parsing stderr —
+    though stderr does name the attributed party."""
+
+    def _args(self, *extra):
+        return _serve_parser().parse_args(list(extra))
+
+    def test_protocol_abort_exits_3_with_party_on_stderr(
+        self, monkeypatch, capsys
+    ):
+        def abort(*args, **kwargs):
+            raise ProtocolAbort("prover went silent mid-Morra", party="prover-1")
+
+        monkeypatch.setattr(serve, "run_distributed_session", abort)
+        code = serve.main(self._args())
+        assert code == serve.EXIT_PROTOCOL_ABORT == 3
+        err = capsys.readouterr().err
+        assert "protocol abort" in err
+        assert "prover-1" in err
+
+    def test_unattributed_abort_still_exits_3(self, monkeypatch, capsys):
+        def abort(*args, **kwargs):
+            raise ProtocolAbort("timed out accepting peers")
+
+        monkeypatch.setattr(serve, "run_async_sessions", abort)
+        code = serve.main(self._args("--async"))
+        assert code == serve.EXIT_PROTOCOL_ABORT
+        assert "unattributed" in capsys.readouterr().err
+
+    def test_infrastructure_crash_exits_4(self, monkeypatch, capsys):
+        def crash(*args, **kwargs):
+            raise OSError("address already in use")
+
+        monkeypatch.setattr(serve, "run_fleet", crash)
+        code = serve.main(self._args("--fleet"))
+        assert code == serve.EXIT_INFRA_CRASH == 4
+        err = capsys.readouterr().err
+        assert "infrastructure crash" in err
+        assert "address already in use" in err
+
+    def test_usage_error_exits_2(self, monkeypatch, capsys):
+        def reject(*args, **kwargs):
+            raise ParameterError("shards must be >= 0")
+
+        monkeypatch.setattr(serve, "run_distributed_session", reject)
+        code = serve.main(self._args())
+        assert code == 2
+        assert "usage error" in capsys.readouterr().err
+
+    def test_abort_and_crash_codes_are_distinct_and_nonzero(self):
+        assert serve.EXIT_PROTOCOL_ABORT != serve.EXIT_INFRA_CRASH
+        assert serve.EXIT_PROTOCOL_ABORT not in (0, 1, 2)
+        assert serve.EXIT_INFRA_CRASH not in (0, 1, 2)

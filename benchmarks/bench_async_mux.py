@@ -1,27 +1,25 @@
 #!/usr/bin/env python3
 """Async multiplexed serving: aggregate sessions/sec vs session count N.
 
+A thin wrapper over the declarative harness
+(:mod:`repro.bench.harness`): the experiment is the factor cross
+``sessions × reply_delay`` below, and ``repro bench run`` with an
+equivalent JSON table reproduces it exactly.
+
 Measures what the :class:`repro.net.aio.SessionMux` front-end buys: N
 concurrent sessions through *one* front-end process (K = 2 async server
-hosts, one async client-runner process, p64-sim — identical code paths
-to production groups), for N ∈ {1, 2, 4}.
+hosts, p64-sim), for N ∈ {1, 2, 4}, in two latency regimes:
 
-Two latency regimes per N:
+* ``reply_delay > 0`` — every server sleeps before each RPC reply,
+  modelling remote provers.  This is the regime the mux exists for:
+  aggregate sessions/sec scales with N while the front-end overlaps the
+  idle time across sessions.
+* ``reply_delay = 0`` — localhost loopback, pure-compute bound; on a
+  single-core container scaling tracks ``cpu_count`` (stamped on every
+  artifact by the harness).
 
-* ``rpc_delay > 0`` — every server sleeps that long before each RPC
-  reply, modelling remote provers (WAN hop, HSM, a loaded curator).
-  This is the regime the mux exists for: a solo front-end burns that
-  idle time, the mux overlaps it across sessions, so aggregate
-  sessions/sec scales with N while p50 per-session latency stays
-  bounded.
-* ``rpc_delay = 0`` — localhost loopback, pure-compute bound.  On a
-  single-core container every party time-slices one CPU and the mux can
-  only pipeline the front-end's own idle gaps (client proof generation,
-  prover Σ-proofs run in other processes), so scaling tracks
-  ``cpu_count`` (recorded per row).
-
-Every seeded session is also checked byte-identical to its solo
-in-process :class:`repro.api.Session` run.  Emits ``BENCH_async.json``.
+Byte-identity against the solo seeded Session is asserted per cell by
+the harness (``strict``).  Emits ``BENCH_async.json``.
 
 Usage:
     python benchmarks/bench_async_mux.py               # nb = 64
@@ -34,72 +32,53 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro.api.queries import CountQuery  # noqa: E402
 from repro.bench.format import print_table  # noqa: E402
+from repro.bench.harness import (  # noqa: E402
+    HarnessError,
+    RunTable,
+    run_table,
+)
 from repro.bench.runner import write_bench_json  # noqa: E402
-from repro.net.serve import run_async_sessions  # noqa: E402
 
-GROUP = "p64-sim"
-SESSION_COUNTS = (1, 2, 4)
-RPC_DELAYS = (0.0, 0.03)
+SESSION_COUNTS = [1, 2, 4]
+RPC_DELAYS = [0.0, 0.03]
 
 
-def bench_mux(nb: int, clients: int = 6, num_servers: int = 2) -> list[dict]:
-    query = CountQuery(epsilon=1.0, delta=2**-10)
-    values = [i % 2 for i in range(clients)]
-    cores = os.cpu_count() or 1
-    rows = []
-    for delay in RPC_DELAYS:
-        base_rate = None
-        for sessions in SESSION_COUNTS:
-            outcome = run_async_sessions(
-                query,
-                values,
-                sessions=sessions,
-                num_servers=num_servers,
-                group=GROUP,
-                nb_override=nb,
-                seed=f"bench-async-{delay}",
-                timeout=120.0,
-                reply_delay=delay,
-            )
-            rate = outcome["sessions_per_sec"]
-            if base_rate is None:
-                base_rate = rate
-            rows.append(
-                {
-                    "axis": "mux",
-                    "sessions": sessions,
-                    "rpc_delay_ms": delay * 1000.0,
-                    "nb": outcome["nb"],
-                    "clients_per_session": clients,
-                    "provers": num_servers,
-                    "group": GROUP,
-                    "cpu_count": cores,
-                    "wall_s": outcome["elapsed_s"],
-                    "sessions_per_sec": rate,
-                    "p50_session_s": outcome["p50_session_s"],
-                    "speedup_vs_n1": rate / base_rate if base_rate else float("inf"),
-                    "accepted": outcome["accepted"],
-                    "byte_identical": outcome["byte_identical"],
-                }
-            )
-    return rows
+def build_table(nb: int) -> RunTable:
+    return RunTable(
+        name="async",
+        description="mux aggregate throughput vs session count",
+        factors={
+            "topology": ["async"],
+            "nb": [nb],
+            "sessions": SESSION_COUNTS,
+            "reply_delay": RPC_DELAYS,
+        },
+        fixed={"seed": "bench-async"},
+    )
 
 
 def main() -> int:
     nb = int(os.environ.get("REPRO_ASYNC_NB", "64"))
-    rows = bench_mux(nb)
+    try:
+        rows = run_table(build_table(nb), emit_raw=False)
+    except HarnessError as exc:
+        print(f"FAIL: {exc}", file=sys.stderr)
+        return 1
+
+    mux_rows = [r for r in rows if r.get("kind") != "caveat"]
+    # Speedup relative to N=1 within each delay regime.
+    base_rate: dict[float, float] = {}
+    for row in sorted(mux_rows, key=lambda r: (r["reply_delay_ms"], r["sessions"])):
+        base = base_rate.setdefault(row["reply_delay_ms"], row["sessions_per_sec"])
+        row["speedup_vs_n1"] = row["sessions_per_sec"] / base if base else float("inf")
     write_bench_json("async", rows)
     print_table(
-        rows,
-        title=f"== async multiplexed serving (nb={nb}, {GROUP}) ==",
+        mux_rows,
+        title=f"== async multiplexed serving (nb={nb}, p64-sim) ==",
     )
-    bad = [r for r in rows if not r["byte_identical"] or not r["accepted"]]
-    if bad:
-        print("FAIL: a multiplexed session was not byte-identical", file=sys.stderr)
-        return 1
-    delayed = [r for r in rows if r["rpc_delay_ms"] > 0]
+
+    delayed = [r for r in mux_rows if r["reply_delay_ms"] > 0]
     top = max(delayed, key=lambda r: r["sessions"])
     if top["speedup_vs_n1"] <= 1.0:
         print(
@@ -109,7 +88,7 @@ def main() -> int:
         return 1
     print(
         f"OK: byte-identical; {top['sessions']} muxed sessions under "
-        f"{top['rpc_delay_ms']:.0f}ms RPC latency serve "
+        f"{top['reply_delay_ms']:.0f}ms RPC latency serve "
         f"{top['speedup_vs_n1']:.2f}x the aggregate throughput of one"
     )
     return 0

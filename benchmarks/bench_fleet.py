@@ -1,22 +1,22 @@
 #!/usr/bin/env python3
 """Fleet serving: aggregate sessions/sec past one front-end's ceiling.
 
-Measures what :class:`repro.net.fleet.FleetDispatcher` buys over a
-single :class:`~repro.net.aio.SessionMux` front-end: the same session
-stream placed across F front-end processes (capacity C each, K = 2
-servers, p64-sim), under the RPC-delay regime that models remote
-provers — the regime where a single front-end's capacity is the
-ceiling and a fleet's aggregate keeps scaling.
+A thin wrapper over the declarative harness
+(:mod:`repro.bench.harness`) — the run table below is the whole
+experiment definition, and ``repro bench run`` with an equivalent JSON
+table reproduces it exactly.  Measures what
+:class:`repro.net.fleet.FleetDispatcher` buys over a single
+:class:`~repro.net.aio.SessionMux` front-end: the same session stream
+placed across F front-end processes (capacity 2 each, K = 2 servers,
+p64-sim), under the RPC-delay regime that models remote provers — the
+regime where one front-end's capacity is the ceiling and a fleet's
+aggregate keeps scaling.
 
-Honesty rule (the reason this file exists in this form): a 1-core
-container cannot demonstrate parallel speedup — every extra process
-time-slices the same CPU, so "scaling" rows would measure dispatch
-overhead, exactly the mistake ROADMAP's measurement caveat documents
-for the earlier sharded/distributed BENCH files.  On ``cpu_count == 1``
-this benchmark refuses to claim scaling: it records the measured
-numbers, prints the caveat, and emits an explicit ``caveat`` row in
-``BENCH_fleet.json`` instead of asserting a speedup.  Byte-identity is
-asserted unconditionally — determinism does not need cores.
+Honesty rule: a 1-core container cannot demonstrate parallel speedup —
+the harness appends an explicit ``caveat`` row on ``cpu_count < 2`` and
+this script withholds the scaling claim, exactly as before the port.
+Byte-identity is asserted unconditionally by the harness (``strict``):
+determinism does not need cores.
 
 Usage:
     python benchmarks/bench_fleet.py               # nb = 64
@@ -29,120 +29,72 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro.api.queries import CountQuery  # noqa: E402
 from repro.bench.format import print_table  # noqa: E402
+from repro.bench.harness import (  # noqa: E402
+    CAVEAT_NOTE,
+    HarnessError,
+    RunTable,
+    run_table,
+)
 from repro.bench.runner import write_bench_json  # noqa: E402
-from repro.net.fleet import run_fleet  # noqa: E402
 
-GROUP = "p64-sim"
 RPC_DELAY = 0.03
 SESSIONS = 4
-# (frontends, capacity, shards): one front-end's ceiling, then the
-# fleet, then the fleet with the --shards composition.
-FLEET_SHAPES = ((1, 2, 0), (2, 2, 0), (2, 2, 2))
-
-ROADMAP_CAVEAT = (
-    "Measurement caveat: produced on a 1-core container (cpu_count: 1 "
-    "recorded per row), so these rows show dispatch overhead, not "
-    "parallel speedup — real multi-core scaling is still unmeasured "
-    "(see ROADMAP 'Measurement caveats')."
-)
+# (frontends, shards): one front-end's ceiling, then the fleet, then
+# the fleet with the --shards composition (capacity fixed at 2).
+FLEET_SHAPES = ((1, 0), (2, 0), (2, 2))
 
 
-def bench_fleet(nb: int, clients: int = 6, num_servers: int = 2) -> list[dict]:
-    query = CountQuery(epsilon=1.0, delta=2**-10)
-    values = [i % 2 for i in range(clients)]
-    rows = []
-    base_rate = None
-    for frontends, capacity, shards in FLEET_SHAPES:
-        outcome = run_fleet(
-            query,
-            values,
-            sessions=SESSIONS,
-            frontends=frontends,
-            capacity=capacity,
-            shards=shards,
-            num_servers=num_servers,
-            group=GROUP,
-            nb_override=nb,
-            seed=f"bench-fleet-{frontends}x{capacity}s{shards}",
-            timeout=120.0,
-            reply_delay=RPC_DELAY,
-        )
-        rate = outcome["sessions_per_sec"]
-        if base_rate is None:
-            base_rate = rate
-        rows.append(
+def build_table(nb: int) -> RunTable:
+    return RunTable(
+        name="fleet",
+        description="fleet serving vs one front-end's ceiling",
+        cells=[
             {
-                "axis": "fleet",
-                "frontends": frontends,
-                "capacity": capacity,
-                "shards": shards,
+                "topology": "fleet",
+                "nb": nb,
                 "sessions": SESSIONS,
-                "rpc_delay_ms": RPC_DELAY * 1000.0,
-                "nb": outcome["nb"],
-                "clients_per_session": clients,
-                "provers": num_servers,
-                "group": GROUP,
-                "wall_s": outcome["elapsed_s"],
-                "sessions_per_sec": rate,
-                "speedup_vs_f1": rate / base_rate if base_rate else float("inf"),
-                "released": outcome["released"],
-                "restarts": sum(outcome["restarts"].values()),
-                "stolen": outcome["stolen"],
-                "frontends_used": len(outcome["frontends_used"]),
-                "accepted": outcome["accepted"],
-                "byte_identical": outcome["byte_identical"],
+                "frontends": frontends,
+                "shards": shards,
+                "reply_delay": RPC_DELAY,
             }
-        )
-    return rows
+            for frontends, shards in FLEET_SHAPES
+        ],
+        fixed={"capacity": 2, "seed": "bench-fleet"},
+    )
 
 
 def main() -> int:
     nb = int(os.environ.get("REPRO_FLEET_NB", "64"))
-    cores = os.cpu_count() or 1
-    rows = bench_fleet(nb)
+    try:
+        rows = run_table(build_table(nb), emit_raw=False)
+    except HarnessError as exc:
+        print(f"FAIL: {exc}", file=sys.stderr)
+        return 1
 
-    bad = [
-        r
-        for r in rows
-        if not r["byte_identical"]
-        or not r["accepted"]
-        or r["released"] != r["sessions"]
-    ]
-    single_core = cores < 2
-    if single_core:
-        # Refuse to claim scaling: record the measurement, flag it.
-        rows.append(
-            {
-                "axis": "caveat",
-                "frontends": 0,
-                "capacity": 0,
-                "shards": 0,
-                "scaling_claim": "withheld",
-                "note": ROADMAP_CAVEAT,
-            }
+    fleet_rows = [r for r in rows if r.get("kind") != "caveat"]
+    base_rate = fleet_rows[0]["sessions_per_sec"]
+    for row in fleet_rows:
+        row["speedup_vs_f1"] = (
+            row["sessions_per_sec"] / base_rate if base_rate else float("inf")
         )
     write_bench_json("fleet", rows)
     print_table(
-        [r for r in rows if r["axis"] == "fleet"],
-        title=f"== fleet serving (nb={nb}, {GROUP}, {SESSIONS} sessions) ==",
+        fleet_rows,
+        title=f"== fleet serving (nb={nb}, p64-sim, {SESSIONS} sessions) ==",
     )
-    if bad:
-        print(
-            "FAIL: a fleet-served session was not byte-identical/released",
-            file=sys.stderr,
-        )
-        return 1
-    if single_core:
-        print(ROADMAP_CAVEAT)
+
+    if (os.cpu_count() or 1) < 2:
+        print(CAVEAT_NOTE)
         print(
             "OK: byte-identical across all fleet shapes; "
             "scaling claim withheld on this host"
         )
         return 0
-    fleet_rows = [r for r in rows if r["axis"] == "fleet" and r["frontends"] > 1]
-    top = max(fleet_rows, key=lambda r: r["speedup_vs_f1"])
+    top = max(
+        (r for r in fleet_rows if r["frontends"] > 1),
+        key=lambda r: r["speedup_vs_f1"],
+    )
     if top["speedup_vs_f1"] <= 1.0:
         print(
             "FAIL: fleet aggregate did not scale past one front-end's ceiling",

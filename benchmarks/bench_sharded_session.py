@@ -1,22 +1,25 @@
 #!/usr/bin/env python3
 """Sharded serving: verification throughput vs shard count.
 
-Serves one seeded session — K = 2 prover servers, a client population
+A thin wrapper over the declarative harness
+(:mod:`repro.bench.harness`): the experiment is the ``shards`` sweep
+below, and ``repro bench run`` with an equivalent JSON table reproduces
+it exactly.
+
+Serves one seeded session — K = 2 prover servers, the client population
 and the analyst front-end as separate OS processes over
-``multiprocessing`` pipes — unsharded and with S ∈ {1, 2, 4}
+``multiprocessing`` pipes — unsharded (S = 0) and with S ∈ {1, 2, 4}
 :class:`~repro.net.shard.ShardWorker` verification peers, and reports
 **verification throughput**: Σ-OR proofs checked (every client validity
 proof plus every prover coin proof) per second of end-to-end wall time.
-Every sharded release is asserted byte-identical to the in-process
-:class:`repro.api.Session` under the same seed and chunk size — sharding
-must never change the released bytes, only who does the checking.
+The harness asserts every sharded release byte-identical to the
+in-process :class:`repro.api.Session` under the same seed and chunk
+size — sharding must never change the released bytes, only who does the
+checking.
 
-Speedups scale with available cores (``cpu_count`` is recorded): on a
-single-core container the shards time-slice one CPU and the expected
-result is parity-with-overhead, which is still evidence the dispatch
-path is cheap; on a >= 4-core box the shard workers own the RLC
-multi-exponentiations while the front-end runs Morra and the dispatch
-loop, and S = 4 is the headline number.
+Speedups scale with available cores (``cpu_count`` is stamped on every
+artifact): on a single-core container the shards time-slice one CPU and
+parity-with-overhead is the expected (and still useful) result.
 
 Usage:
     python benchmarks/bench_sharded_session.py            # nb = 2048
@@ -29,79 +32,63 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro.api.queries import CountQuery  # noqa: E402
 from repro.bench.format import print_table  # noqa: E402
+from repro.bench.harness import (  # noqa: E402
+    HarnessError,
+    RunTable,
+    run_table,
+)
 from repro.bench.runner import write_bench_json  # noqa: E402
-from repro.net.serve import run_distributed_session  # noqa: E402
 
-GROUP = "p64-sim"
 NUM_SERVERS = 2
-SHARD_COUNTS = (0, 1, 2, 4)
+SHARD_COUNTS = [0, 1, 2, 4]
 
 
-def bench_sharded(nb: int, n_clients: int) -> list[dict]:
-    query = CountQuery(epsilon=1.0, delta=2**-10)
-    values = [i % 2 for i in range(n_clients)]
-    cores = os.cpu_count() or 1
+def build_table(nb: int, n_clients: int) -> RunTable:
     # One chunk size for every configuration so all releases (sharded,
     # unsharded, in-process) are comparable byte for byte; sized so the
     # widest fan-out still round-robins at least twice per shard.
     chunk = max(1, nb // (2 * max(SHARD_COUNTS)))
-    proofs = n_clients + nb * NUM_SERVERS  # validity + coin proofs checked
-
-    rows = []
-    baseline = None
-    for shards in SHARD_COUNTS:
-        outcome = run_distributed_session(
-            query,
-            values,
-            transport="multiprocess",
-            num_servers=NUM_SERVERS,
-            shards=shards,
-            group=GROUP,
-            nb_override=nb,
-            chunk_size=chunk,
-            seed="bench-sharded",
-        )
-        assert outcome["accepted"], "seeded run must accept"
-        assert outcome["byte_identical"], "sharded release must match in-process"
-        if shards == 0:
-            baseline = outcome["elapsed_s"]
-        rows.append(
-            {
-                "mode": "unsharded" if shards == 0 else f"sharded S={shards}",
-                "shards": shards,
-                "nb": nb,
-                "n_clients": n_clients,
-                "provers": NUM_SERVERS,
-                "group": GROUP,
-                "chunk": chunk,
-                "cpu_count": cores,
-                "seconds": outcome["elapsed_s"],
-                "proofs_per_s": proofs / outcome["elapsed_s"],
-                "speedup_vs_unsharded": baseline / outcome["elapsed_s"],
-                "byte_identical": outcome["byte_identical"],
-            }
-        )
-    return rows
+    return RunTable(
+        name="sharded",
+        description="verification throughput vs shard count",
+        factors={
+            "topology": ["sharded"],
+            "nb": [nb],
+            "shards": SHARD_COUNTS,
+        },
+        fixed={
+            "clients": n_clients,
+            "num_servers": NUM_SERVERS,
+            "chunk": chunk,
+            "seed": "bench-sharded",
+        },
+    )
 
 
 def main() -> int:
     nb = int(os.environ.get("REPRO_SHARD_NB", "2048"))
     n_clients = int(os.environ.get("REPRO_SHARD_CLIENTS", "64"))
-    rows = bench_sharded(nb, n_clients)
+    try:
+        rows = run_table(build_table(nb, n_clients), emit_raw=False)
+    except HarnessError as exc:
+        print(f"FAIL: {exc}", file=sys.stderr)
+        return 1
+
+    shard_rows = [r for r in rows if r.get("kind") != "caveat"]
+    proofs = n_clients + nb * NUM_SERVERS  # validity + coin proofs checked
+    baseline = next(r["wall_s"] for r in shard_rows if r["shards"] == 0)
+    for row in shard_rows:
+        row["proofs_per_s"] = proofs / row["wall_s"]
+        row["speedup_vs_unsharded"] = baseline / row["wall_s"]
     write_bench_json("sharded", rows)
     print_table(
-        rows,
+        shard_rows,
         title=(
             f"== sharded verification serving (nb={nb}, n={n_clients}, "
-            f"K={NUM_SERVERS}, {GROUP}, multiprocess) =="
+            f"K={NUM_SERVERS}, p64-sim, multiprocess) =="
         ),
     )
-    if not all(row["byte_identical"] for row in rows):
-        print("FAIL: a sharded release diverged from the in-process Session",
-              file=sys.stderr)
-        return 1
     print("OK: all sharded releases byte-identical to the in-process Session")
     return 0
 

@@ -27,6 +27,7 @@ argument is unchanged; chunking only reorders *independent* messages.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 from repro.api.phases import Phase, advance
@@ -46,7 +47,13 @@ from repro.mpc.morra import run_morra_batch
 from repro.utils.rng import RNG, SystemRNG
 from repro.utils.timing import StageTimer
 
-__all__ = ["ProtocolEngine", "EngineResult", "fork_rng"]
+__all__ = [
+    "ProtocolEngine",
+    "EngineResult",
+    "fork_rng",
+    "add_phase_observer",
+    "remove_phase_observer",
+]
 
 # Stage names aligned with Table 1's columns.
 STAGE_SIGMA_PROOF = "sigma-proof"
@@ -62,6 +69,29 @@ def fork_rng(rng: RNG, label: str) -> RNG:
     """A per-party child stream (system randomness when not forkable)."""
     forker = getattr(rng, "fork", None)
     return forker(label) if forker is not None else SystemRNG()
+
+
+# Phase-transition observers: the observability layer (repro.net.metrics)
+# hooks engine phase timings here without the engine importing it.  Each
+# observer is called as ``observer(previous_phase, new_phase, elapsed_s)``
+# where ``elapsed_s`` is the wall-clock time the engine spent in
+# ``previous_phase`` (per transition, so a streamed run's repeated
+# COMMIT_COINS -> MORRA -> ADJUST loop yields one observation per lap).
+# Observers run on the engine's thread and must be cheap and non-raising.
+_PHASE_OBSERVERS: list = []
+
+
+def add_phase_observer(observer) -> None:
+    """Register a ``(previous, new, elapsed_s)`` phase-transition callback."""
+    _PHASE_OBSERVERS.append(observer)
+
+
+def remove_phase_observer(observer) -> None:
+    """Unregister a previously added phase observer (no-op if absent)."""
+    try:
+        _PHASE_OBSERVERS.remove(observer)
+    except ValueError:
+        pass
 
 
 @dataclass
@@ -142,6 +172,7 @@ class ProtocolEngine:
                 self.network.register(name)
         self.timer = StageTimer()
         self.phase = Phase.ENROLL
+        self._phase_entered = time.perf_counter()
 
         # Client-phase state.
         self._context = ContextAccumulator()
@@ -157,7 +188,16 @@ class ProtocolEngine:
     # Phase bookkeeping ------------------------------------------------------
 
     def _advance(self, target: Phase) -> None:
+        previous = self.phase
         self.phase = advance(self.phase, target)
+        now = time.perf_counter()
+        elapsed = now - self._phase_entered
+        self._phase_entered = now
+        # Wall-clock per phase, alongside Table 1's work-stage timings:
+        # ``phase:<name>`` accumulates across a streamed run's chunk laps.
+        self.timer.add(f"phase:{previous.value}", elapsed)
+        for observer in list(_PHASE_OBSERVERS):
+            observer(previous, self.phase, elapsed)
 
     def _require(self, phase: Phase, what: str) -> None:
         if self.phase is not phase:

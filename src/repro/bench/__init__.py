@@ -8,6 +8,15 @@ the checked-in BENCH_*.json files for measured-vs-paper numbers.
 """
 
 from repro.bench.format import format_table, print_table
+from repro.bench.harness import (
+    RunTable,
+    cell_id,
+    check_baseline,
+    expand,
+    run_cell,
+    run_table,
+    summarize,
+)
 from repro.bench.runner import (
     run_table1,
     run_fig3,
@@ -26,6 +35,13 @@ from repro.bench.runner import (
 __all__ = [
     "format_table",
     "print_table",
+    "RunTable",
+    "cell_id",
+    "check_baseline",
+    "expand",
+    "run_cell",
+    "run_table",
+    "summarize",
     "run_table1",
     "run_fig3",
     "run_fig4",

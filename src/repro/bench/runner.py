@@ -458,17 +458,21 @@ def host_metadata() -> dict:
     }
 
 
-def write_bench_json(name: str, rows: list[dict]) -> Path:
+def write_bench_json(
+    name: str, rows: list[dict], directory: str | Path | None = None
+) -> Path:
     """Persist experiment rows as ``BENCH_<name>.json``.
 
-    The file lands in ``REPRO_BENCH_DIR`` (default: the current working
-    directory, i.e. the repo root when run via ``python -m repro``), and
-    is the checked-in evidence format for perf-sensitive changes.
-    Every row is stamped with :func:`host_metadata` (the row's own keys
-    win) so a scaling number can never again be read without knowing
-    how many cores measured it.
+    The file lands in ``directory`` when given, else ``REPRO_BENCH_DIR``
+    (default: the current working directory, i.e. the repo root when run
+    via ``python -m repro``), and is the checked-in evidence format for
+    perf-sensitive changes.  Every row is stamped with
+    :func:`host_metadata` (the row's own keys win) so a scaling number
+    can never again be read without knowing how many cores measured it.
     """
-    directory = Path(os.environ.get("REPRO_BENCH_DIR", "."))
+    if directory is None:
+        directory = os.environ.get("REPRO_BENCH_DIR", ".")
+    directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
     path = directory / f"BENCH_{name}.json"
     metadata = host_metadata()

@@ -106,6 +106,131 @@ def _serve_parser() -> argparse.ArgumentParser:
     parser.add_argument("--host", default="127.0.0.1", help="socket transport host")
     parser.add_argument("--port", type=int, default=0, help="socket port (0 = ephemeral)")
     parser.add_argument("--timeout", type=float, default=120.0, help="per-recv timeout")
+    parser.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        help="serve Prometheus-text /metrics on this port (0 = ephemeral; "
+        "with --async or --fleet: session counters, queue gauges, "
+        "per-phase engine histograms)",
+    )
+    parser.add_argument(
+        "--listen",
+        type=int,
+        default=None,
+        help="with --fleet: instead of a fixed --sessions batch, accept a "
+        "session stream on this TCP port (JSON lines; the repro loadgen "
+        "target; 0 = ephemeral)",
+    )
+    parser.add_argument(
+        "--serve-seconds",
+        type=float,
+        default=None,
+        help="with --listen: serve for this long, then drain and exit "
+        "(default: forever, Ctrl-C to stop)",
+    )
+    return parser
+
+
+def _bench_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro bench",
+        description="Declarative experiment harness: run tables, summaries, "
+        "regression gates (see DESIGN.md 'Measurement & observability')",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    run = sub.add_parser(
+        "run", help="run every cell of a run-table JSON and write BENCH artifacts"
+    )
+    run.add_argument("table", help="run-table JSON file (factors x levels x reps)")
+    run.add_argument(
+        "--out",
+        default=None,
+        help="directory for BENCH artifacts (default: $REPRO_BENCH_DIR or .)",
+    )
+    run.add_argument(
+        "--no-raw",
+        action="store_true",
+        help="skip the one-JSON-per-run raw artifacts (combined file only)",
+    )
+    run.add_argument(
+        "--summary", default=None, help="also write the mean/stdev summary JSON here"
+    )
+    run.add_argument(
+        "--baseline",
+        default=None,
+        help="check the summary against this baseline summary JSON "
+        "(exit 1 on >--max-slowdown regression)",
+    )
+    run.add_argument(
+        "--max-slowdown",
+        type=float,
+        default=2.0,
+        help="regression gate threshold vs the baseline mean (default 2.0x)",
+    )
+    summarize = sub.add_parser(
+        "summarize", help="fold BENCH row files into a mean/stdev summary"
+    )
+    summarize.add_argument("files", nargs="+", help="BENCH_*.json files")
+    summarize.add_argument("--out", default=None, help="write the summary JSON here")
+    summarize.add_argument(
+        "--metric", default="wall_s", help="row metric to aggregate (default wall_s)"
+    )
+    check = sub.add_parser(
+        "check", help="compare a summary against a baseline summary"
+    )
+    check.add_argument("summary", help="summary JSON produced by run/summarize")
+    check.add_argument("baseline", help="baseline summary JSON to compare against")
+    check.add_argument(
+        "--max-slowdown",
+        type=float,
+        default=2.0,
+        help="fail when mean exceeds baseline mean by this factor (default 2.0)",
+    )
+    return parser
+
+
+def _loadgen_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro loadgen",
+        description="Open-loop Poisson load generator against a fleet "
+        "gateway (repro serve --fleet --listen PORT)",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="gateway host")
+    parser.add_argument("--port", type=int, required=True, help="gateway TCP port")
+    parser.add_argument(
+        "--rate", type=float, default=2.0, help="mean session arrivals per second"
+    )
+    parser.add_argument(
+        "--duration", type=float, default=10.0, help="offered-load window in seconds"
+    )
+    parser.add_argument(
+        "--seed",
+        default="loadgen",
+        help="determinism root: same seed => same arrival schedule, "
+        "populations and exact bytes sent",
+    )
+    parser.add_argument(
+        "--clients", type=int, default=6, help="population size per session"
+    )
+    parser.add_argument(
+        "--churn",
+        type=int,
+        default=1,
+        help="population members replaced before each arrival",
+    )
+    parser.add_argument(
+        "--bins", type=int, default=1, help=">1 draws histogram-valued populations"
+    )
+    parser.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=120.0,
+        help="how long to wait for outstanding replies after the window",
+    )
+    parser.add_argument(
+        "--json", default=None, help="also write the report as JSON to this path"
+    )
     return parser
 
 
@@ -118,6 +243,12 @@ def main(argv: list[str] | None = None) -> int:
         if args.seed == "none":
             args.seed = None
         return serve_main(args)
+    if argv and argv[0] == "bench":
+        from repro.bench.harness import main as bench_main
+
+        return bench_main(_bench_parser().parse_args(argv[1:]))
+    if argv and argv[0] == "loadgen":
+        return _loadgen_main(_loadgen_parser().parse_args(argv[1:]))
 
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -125,9 +256,11 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all", "list", "serve"],
-        help="experiment id (see DESIGN.md), 'all'/'list', or 'serve' "
-        "(multi-process serving demo; run 'serve --help' for options)",
+        choices=sorted(EXPERIMENTS) + ["all", "list", "serve", "bench", "loadgen"],
+        help="experiment id (see DESIGN.md), 'all'/'list', 'serve' "
+        "(multi-process serving demo), 'bench' (run-table experiment "
+        "harness), or 'loadgen' (open-loop fleet load generator); run "
+        "'<name> --help' for options",
     )
     args = parser.parse_args(argv)
 
@@ -142,6 +275,54 @@ def main(argv: list[str] | None = None) -> int:
         print_table(rows, title=f"== {name}: {_DESCRIPTIONS[name]} ==")
         _maybe_chart(name, rows)
     return 0
+
+
+def _loadgen_main(args) -> int:
+    import json
+
+    from repro.loadgen import run_loadgen
+
+    report = run_loadgen(
+        host=args.host,
+        port=args.port,
+        rate=args.rate,
+        duration=args.duration,
+        seed=args.seed,
+        clients=args.clients,
+        churn=args.churn,
+        bins=args.bins,
+        drain_timeout=args.drain_timeout,
+    )
+    print(
+        f"== loadgen (rate={report['rate']}/s x {report['duration_s']}s, "
+        f"seed={report['seed']!r}, {report['clients']} clients, "
+        f"churn {report['churn']}) =="
+    )
+    print(
+        f"offered:    {report['offered']} sessions "
+        f"({report['offered_rate']:.2f}/s)"
+    )
+    print(
+        f"outcomes:   released={report['released']} aborted={report['aborted']} "
+        f"crashed={report['crashed']} rejected={report['rejected']} "
+        f"timeout={report['timeout']} lost={report['lost']}"
+    )
+    print(f"throughput: {report['throughput_sessions_per_sec']:.2f} released/s")
+    for key in ("p50_s", "p95_s", "p99_s"):
+        value = report[key]
+        print(f"{key[:-2]}:        {value:.3f}s" if value is not None else f"{key[:-2]}:        n/a")
+    print(
+        f"wire bytes: {report['bytes_sent']} sent "
+        f"(= {report['bytes_planned']} planned, exact per seed), "
+        f"{report['bytes_received']} received"
+    )
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+        print(f"report written to {args.json}")
+    # Losing offered sessions (no reply at all) is a failed run; protocol
+    # rejections are a reported outcome, not a generator failure.
+    return 0 if report["lost"] == 0 else 1
 
 
 def _maybe_chart(name: str, rows: list[dict]) -> None:

@@ -671,6 +671,7 @@ class SessionMux:
         clients_peer: str = "clients",
         timeout: float | None = 60.0,
         max_concurrency: int | None = None,
+        metrics=None,
     ) -> None:
         if specs is not None and not specs:
             raise ParameterError("need at least one session spec")
@@ -687,6 +688,11 @@ class SessionMux:
         self.results: dict[int, EngineResult] = _SessionMap()
         self.errors: dict[int, BaseException] = _SessionMap()
         self.session_seconds: dict[int, float] = _SessionMap()
+        # Optional repro.net.metrics.ServingMetrics: when set, the mux
+        # keeps the admitted/completed/aborted/crashed ledger and feeds
+        # per-phase engine timings — the fleet worker's mux leaves this
+        # unset because its dispatcher owns the ledger.
+        self.metrics = metrics
         self._executor: ThreadPoolExecutor | None = None
 
     def _session_executor(self) -> ThreadPoolExecutor:
@@ -746,14 +752,25 @@ class SessionMux:
         the failure) is recorded under ``session`` and returned (raised).
         """
         loop = asyncio.get_running_loop()
+        if self.metrics is not None:
+            self.metrics.session_admitted()
         try:
             result = await loop.run_in_executor(
                 self._session_executor(), self._serve_one, session, spec, loop
             )
         except BaseException as exc:
             self.errors[session] = exc
+            if self.metrics is not None:
+                status = "aborted" if isinstance(exc, ProtocolAbort) else "crashed"
+                self.metrics.session_finished(status)
             raise
         self.results[session] = result
+        if self.metrics is not None:
+            self.metrics.session_finished(
+                "released",
+                stages=dict(result.timer.stages),
+                elapsed_s=self.session_seconds[session],
+            )
         return result
 
     async def run(self) -> dict[int, EngineResult]:

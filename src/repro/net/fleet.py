@@ -60,6 +60,7 @@ from repro.crypto.serialization import encode_message
 from repro.errors import ParameterError, ProtocolAbort, ReproError
 from repro.net import wire
 from repro.net.aio import AsyncSocketTransport, SessionMux, SessionSpec
+from repro.net.metrics import ServingMetrics
 from repro.net.nodes import ClientRunner, ServerNode
 from repro.net.shard import ShardWorker
 from repro.net.transport import SocketTransport
@@ -481,6 +482,11 @@ class _FrontEnd:
                     "release": encode_message(result.release),
                     "chunk_size": chunk,
                     "elapsed_s": time.perf_counter() - start,
+                    # Engine stage timings (including the per-phase
+                    # ``phase:*`` entries) travel with the outcome so the
+                    # dispatcher's /metrics histograms see work done in
+                    # worker processes.
+                    "stages": dict(result.timer.stages),
                 }
             )
         finally:
@@ -593,8 +599,15 @@ class FleetDispatcher:
     :meth:`start` with :meth:`stop`.
     """
 
-    def __init__(self, config: FleetConfig, *, start_method: str = "fork") -> None:
+    def __init__(
+        self,
+        config: FleetConfig,
+        *,
+        start_method: str = "fork",
+        metrics: ServingMetrics | None = None,
+    ) -> None:
         self.config = config
+        self.metrics = metrics
         self._context = get_context(start_method)
         self._lock = threading.RLock()
         self._cond = threading.Condition(self._lock)
@@ -677,6 +690,8 @@ class FleetDispatcher:
             if worker is None:
                 raise ProtocolAbort("no live front-end to place the session on")
             self._place(worker, request)
+            if self.metrics is not None:
+                self.metrics.session_admitted()
             return worker.name
 
     def place(self, request: SessionRequest, frontend: str) -> None:
@@ -687,6 +702,8 @@ class FleetDispatcher:
             if worker is None or worker.dead:
                 raise ParameterError(f"no live front-end named {frontend!r}")
             self._place(worker, request)
+            if self.metrics is not None:
+                self.metrics.session_admitted()
 
     def _placement_target(self, exclude=()) -> _Worker | None:
         live = [
@@ -796,46 +813,70 @@ class FleetDispatcher:
                 return
             self._handle_event(worker, event)
 
+    def _record_outcome(
+        self, outcome: SessionOutcome, stages: dict | None = None
+    ) -> None:
+        """The single funnel every outcome passes through: stores it and
+        keeps the metrics ledger balanced (one admitted -> exactly one
+        finished, so in-flight returns to zero after a drain)."""
+        already = outcome.request_id in self.outcomes
+        self.outcomes[outcome.request_id] = outcome
+        if self.metrics is not None and not already:
+            self.metrics.session_finished(
+                outcome.status, stages=stages, elapsed_s=outcome.elapsed_s
+            )
+
     def _handle_event(self, worker: _Worker, event: dict) -> None:
         kind = event.get("event")
         if kind == "released":
             request_id = event["request_id"]
             worker.placed.pop(request_id, None)
-            self.outcomes[request_id] = SessionOutcome(
-                request_id,
-                worker.name,
-                "released",
-                accepted=event["accepted"],
-                estimate=tuple(event["estimate"]),
-                release_frame=event["release"],
-                chunk_size=event["chunk_size"],
-                elapsed_s=event["elapsed_s"],
+            self._record_outcome(
+                SessionOutcome(
+                    request_id,
+                    worker.name,
+                    "released",
+                    accepted=event["accepted"],
+                    estimate=tuple(event["estimate"]),
+                    release_frame=event["release"],
+                    chunk_size=event["chunk_size"],
+                    elapsed_s=event["elapsed_s"],
+                ),
+                stages=event.get("stages"),
             )
         elif kind == "aborted":
             request_id = event["request_id"]
             worker.placed.pop(request_id, None)
-            self.outcomes[request_id] = SessionOutcome(
-                request_id,
-                worker.name,
-                "aborted",
-                party=event.get("party"),
-                reason=event.get("reason"),
+            self._record_outcome(
+                SessionOutcome(
+                    request_id,
+                    worker.name,
+                    "aborted",
+                    party=event.get("party"),
+                    reason=event.get("reason"),
+                )
             )
         elif kind == "failed":
             request_id = event["request_id"]
             worker.placed.pop(request_id, None)
-            self.outcomes[request_id] = SessionOutcome(
-                request_id,
-                worker.name,
-                "crashed",
-                party=worker.name,
-                reason=event.get("reason"),
+            self._record_outcome(
+                SessionOutcome(
+                    request_id,
+                    worker.name,
+                    "crashed",
+                    party=worker.name,
+                    reason=event.get("reason"),
+                )
             )
         elif kind == "stats":
             worker.stats = {
                 key: event[key]
                 for key in ("in_flight", "pending", "completed", "aborted")
             }
+            if self.metrics is not None:
+                self.metrics.frontend_stats(
+                    worker.name, event["in_flight"], event["pending"]
+                )
         elif kind == "stolen":
             worker.steal_outstanding = False
             self._replace_stolen(worker, event.get("requests", []))
@@ -854,13 +895,17 @@ class FleetDispatcher:
                 target = worker if not worker.dead else self._placement_target()
             elif target is not worker:
                 self.stolen += 1
+                if self.metrics is not None:
+                    self.metrics.stolen.inc()
             if target is None:  # pragma: no cover - whole fleet died
-                self.outcomes[request.request_id] = SessionOutcome(
-                    request.request_id,
-                    worker.name,
-                    "crashed",
-                    party=worker.name,
-                    reason="no live front-end to host the stolen session",
+                self._record_outcome(
+                    SessionOutcome(
+                        request.request_id,
+                        worker.name,
+                        "crashed",
+                        party=worker.name,
+                        reason="no live front-end to host the stolen session",
+                    )
                 )
                 continue
             self._place(target, request)
@@ -876,20 +921,26 @@ class FleetDispatcher:
         # Crash: every session placed here and not yet decided would
         # otherwise hang its caller — re-attribute now, then respawn.
         for request_id in list(worker.placed):
-            self.outcomes[request_id] = SessionOutcome(
-                request_id,
-                worker.name,
-                "crashed",
-                party=worker.name,
-                reason="front-end crashed with the session in flight",
+            self._record_outcome(
+                SessionOutcome(
+                    request_id,
+                    worker.name,
+                    "crashed",
+                    party=worker.name,
+                    reason="front-end crashed with the session in flight",
+                )
             )
         worker.placed.clear()
+        if self.metrics is not None:
+            self.metrics.frontend_stats(worker.name, 0, 0)
         if self._draining:
             return
         count = self.restarts.get(worker.name, 0)
         if count >= self.config.max_restarts:
             return
         self.restarts[worker.name] = count + 1
+        if self.metrics is not None:
+            self.metrics.restarts.inc(frontend=worker.name)
         self._spawn(worker.name)
 
     def _health_tick(self) -> None:
@@ -939,6 +990,7 @@ def run_fleet(
     timeout: float = 120.0,
     reply_delay: float = 0.0,
     verify_equivalence: bool | None = None,
+    metrics: ServingMetrics | None = None,
 ) -> dict:
     """Serve ``sessions`` sessions through a fleet; returns a metrics dict.
 
@@ -974,7 +1026,7 @@ def run_fleet(
         for s in range(sessions)
     ]
 
-    dispatcher = FleetDispatcher(config)
+    dispatcher = FleetDispatcher(config, metrics=metrics)
     start = time.perf_counter()
     try:
         dispatcher.start()

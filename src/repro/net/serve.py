@@ -36,7 +36,15 @@ from repro.net.aio import (
     SessionMux,
     SessionSpec,
 )
-from repro.net.fleet import FleetConfig, run_fleet, session_seed, session_values
+from repro.net.fleet import (
+    FleetConfig,
+    FleetDispatcher,
+    run_fleet,
+    session_seed,
+    session_values,
+)
+from repro.net.gateway import FleetGateway
+from repro.net.metrics import MetricsServer, ServingMetrics
 from repro.net.nodes import AnalystNode, ClientRunner, ServerNode
 from repro.net.shard import ShardWorker, ShardedAnalyst
 from repro.net.transport import (
@@ -494,6 +502,7 @@ def run_async_sessions(
     timeout: float = 120.0,
     reply_delay: float = 0.0,
     verify_equivalence: bool | None = None,
+    metrics: ServingMetrics | None = None,
 ) -> dict:
     """N concurrent sessions through one :class:`SessionMux` front-end.
 
@@ -606,7 +615,9 @@ def run_async_sessions(
                 )
                 for s in range(sessions)
             ]
-            mux = SessionMux(specs, transport, server_names, timeout=timeout)
+            mux = SessionMux(
+                specs, transport, server_names, timeout=timeout, metrics=metrics
+            )
             mux_box["mux"] = mux
             await mux.run()
         finally:
@@ -761,21 +772,42 @@ def _dispatch(args) -> int:
     return 0 if outcome["accepted"] else 1
 
 
+def _start_metrics(args):
+    """Optional /metrics endpoint for a serving run (``--metrics-port``).
+
+    Returns ``(metrics, server)`` — both ``None`` without the flag.
+    Port 0 binds an ephemeral port; the bound port is announced on
+    stdout either way so scrapers can find it.
+    """
+    if getattr(args, "metrics_port", None) is None:
+        return None, None
+    metrics = ServingMetrics()
+    server = MetricsServer(metrics.registry, host=args.host, port=args.metrics_port)
+    print(f"metrics: http://{args.host}:{server.port}/metrics", flush=True)
+    return metrics, server
+
+
 def _main_async(args, query: Query, values) -> int:
-    outcome = run_async_sessions(
-        query,
-        values,
-        sessions=args.sessions,
-        num_servers=args.servers,
-        shards=args.shards,
-        group=args.group,
-        nb_override=args.nb,
-        chunk_size=args.chunk,
-        seed=args.seed,
-        host=args.host,
-        port=args.port,
-        timeout=args.timeout,
-    )
+    metrics, metrics_server = _start_metrics(args)
+    try:
+        outcome = run_async_sessions(
+            query,
+            values,
+            sessions=args.sessions,
+            num_servers=args.servers,
+            shards=args.shards,
+            group=args.group,
+            nb_override=args.nb,
+            chunk_size=args.chunk,
+            seed=args.seed,
+            host=args.host,
+            port=args.port,
+            timeout=args.timeout,
+            metrics=metrics,
+        )
+    finally:
+        if metrics_server is not None:
+            metrics_server.close()
     sharded = f", S={outcome['shards']} shards/session" if outcome["shards"] else ""
     print(
         f"== async multiplexed serving (N={outcome['sessions']} sessions, "
@@ -826,13 +858,21 @@ def _main_fleet(args, query: Query, values) -> int:
             host=args.host,
             timeout=args.timeout,
         )
-    outcome = run_fleet(
-        query,
-        values,
-        sessions=args.sessions,
-        config=config,
-        seed=args.seed,
-    )
+    if getattr(args, "listen", None) is not None:
+        return _main_fleet_gateway(args, query, config)
+    metrics, metrics_server = _start_metrics(args)
+    try:
+        outcome = run_fleet(
+            query,
+            values,
+            sessions=args.sessions,
+            config=config,
+            seed=args.seed,
+            metrics=metrics,
+        )
+    finally:
+        if metrics_server is not None:
+            metrics_server.close()
     sharded = f", S={outcome['shards']} shards/session" if outcome["shards"] else ""
     print(
         f"== fleet serving (F={outcome['frontends']} front-ends x "
@@ -876,3 +916,60 @@ def _main_fleet(args, query: Query, values) -> int:
     if outcome["released"] < outcome["sessions"]:
         return 1
     return 0 if outcome["accepted"] else 1
+
+
+def _main_fleet_gateway(args, query: Query, config: FleetConfig) -> int:
+    """``repro serve --fleet --listen PORT``: serve an open-ended session
+    stream admitted over TCP (the ``repro loadgen`` target) instead of a
+    fixed batch.  Runs until ``--serve-seconds`` elapses (or forever,
+    Ctrl-C to stop), then drains: everything admitted finishes, nothing
+    new is let in."""
+    metrics, metrics_server = _start_metrics(args)
+    dispatcher = FleetDispatcher(config, metrics=metrics)
+    dispatcher.start()
+    gateway = None
+    try:
+        gateway = FleetGateway(
+            dispatcher,
+            query,
+            host=args.host,
+            port=args.listen,
+            timeout=config.timeout,
+        )
+        print(
+            f"fleet gateway: {args.host}:{gateway.port} "
+            f"(F={config.frontends} x capacity {config.capacity}, "
+            f"K={config.num_servers}, nb={config.nb_override}, "
+            f"{config.group})",
+            flush=True,
+        )
+        serve_seconds = getattr(args, "serve_seconds", None)
+        try:
+            if serve_seconds is not None:
+                time.sleep(serve_seconds)
+            else:
+                while True:
+                    time.sleep(1.0)
+        except KeyboardInterrupt:
+            pass
+        admitted = gateway.admitted
+        gateway.close()
+        gateway = None
+        drained = dispatcher.drain(timeout=config.timeout)
+    finally:
+        if gateway is not None:
+            gateway.close()
+        dispatcher.stop()
+        if metrics_server is not None:
+            metrics_server.close()
+    statuses: dict[str, int] = {}
+    for outcome in dispatcher.outcomes.values():
+        statuses[outcome.status] = statuses.get(outcome.status, 0) + 1
+    print(
+        f"gateway summary: admitted={admitted} "
+        f"released={statuses.get('released', 0)} "
+        f"aborted={statuses.get('aborted', 0)} "
+        f"crashed={statuses.get('crashed', 0)} "
+        f"drained={drained}"
+    )
+    return 0 if drained else EXIT_INFRA_CRASH

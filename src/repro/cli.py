@@ -249,6 +249,11 @@ def main(argv: list[str] | None = None) -> int:
         return bench_main(_bench_parser().parse_args(argv[1:]))
     if argv and argv[0] == "loadgen":
         return _loadgen_main(_loadgen_parser().parse_args(argv[1:]))
+    if argv and argv[0] == "lint":
+        from repro.lint.runner import build_parser as lint_parser
+        from repro.lint.runner import main as lint_main
+
+        return lint_main(lint_parser().parse_args(argv[1:]))
 
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -256,11 +261,13 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all", "list", "serve", "bench", "loadgen"],
+        choices=sorted(EXPERIMENTS)
+        + ["all", "list", "serve", "bench", "loadgen", "lint"],
         help="experiment id (see DESIGN.md), 'all'/'list', 'serve' "
         "(multi-process serving demo), 'bench' (run-table experiment "
-        "harness), or 'loadgen' (open-loop fleet load generator); run "
-        "'<name> --help' for options",
+        "harness), 'loadgen' (open-loop fleet load generator), or 'lint' "
+        "(protocol-invariant static analysis); run '<name> --help' for "
+        "options",
     )
     args = parser.parse_args(argv)
 

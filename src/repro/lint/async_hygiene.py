@@ -1,0 +1,145 @@
+"""REP003 — no blocking calls on the event loop.
+
+The async serving stack (``net.aio``, ``net.fleet``, ``net.gateway``)
+multiplexes N sessions on one loop; a single blocking call in an
+``async def`` body stalls *every* session behind it.  The equivalence
+tests cannot see this — a blocked loop still produces byte-identical
+releases, just one session at a time — so concurrency regressions slip
+through dynamically.  Statically, the contract is simple: inside an
+``async def``, blocking work is either awaited or routed to an
+executor thread (:class:`repro.net.aio.SessionChannel` is the sync
+facade built for exactly that).
+
+Flags, inside ``async def`` bodies only (nested *sync* ``def``/
+``lambda`` bodies are skipped — they are what ``run_in_executor``
+runs, so blocking calls are legal there):
+
+* ``time.sleep(...)`` — use ``await asyncio.sleep(...)``;
+* constructing or connecting the *sync* transports
+  (``SocketTransport(...)``, ``SocketTransport.connect/listen``,
+  ``MultiprocessTransport(...)``) — the loop must speak
+  ``AsyncSocketTransport``; blocking peers belong in executor threads;
+* un-awaited calls to classically blocking I/O methods — ``.recv()``,
+  ``.accept()``, ``.sendall()``, ``.recv_into()``, ``.makefile()`` —
+  and blocking ``socket`` module constructors
+  (``socket.create_connection``, ``socket.create_server``);
+* ``subprocess.run/call/check_output`` and ``input()``.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.base import Finding, ModuleContext, Rule, register
+
+__all__ = ["AsyncHygieneRule"]
+
+_SYNC_TRANSPORTS = {"SocketTransport", "MultiprocessTransport", "InMemoryTransport"}
+_BLOCKING_METHODS = {"recv", "recv_into", "accept", "sendall", "makefile"}
+_BLOCKING_SOCKET_FUNCS = {"create_connection", "create_server", "getaddrinfo"}
+_BLOCKING_SUBPROCESS = {"run", "call", "check_call", "check_output"}
+
+
+class _AsyncBodyVisitor(ast.NodeVisitor):
+    """Walks one ``async def`` body; does not descend into nested sync
+    scopes (their bodies run off-loop) but does follow nested async
+    defs (they run on the loop too — handled by their own visit)."""
+
+    def __init__(self, rule: "AsyncHygieneRule", ctx: ModuleContext) -> None:
+        self.rule = rule
+        self.ctx = ctx
+        self.findings: list[Finding] = []
+        self._awaited: set[int] = set()
+
+    def flag(self, node: ast.AST, message: str) -> None:
+        self.findings.append(self.ctx.finding(self.rule.code, node, message))
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        pass  # sync scope: executor-bound, blocking is legal
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        pass
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        pass  # visited separately at top level
+
+    def visit_Await(self, node: ast.Await) -> None:
+        if isinstance(node.value, ast.Call):
+            self._awaited.add(id(node.value))
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        awaited = id(node) in self._awaited
+        if isinstance(func, ast.Attribute):
+            base = func.value
+            if (
+                isinstance(base, ast.Name)
+                and base.id == "time"
+                and func.attr == "sleep"
+            ):
+                self.flag(node, "time.sleep() blocks the event loop — "
+                          "await asyncio.sleep() instead")
+            elif (
+                isinstance(base, ast.Name)
+                and base.id in _SYNC_TRANSPORTS
+                and func.attr in {"connect", "listen"}
+            ):
+                self.flag(node, f"{base.id}.{func.attr}() is the blocking "
+                          "transport — the loop speaks AsyncSocketTransport; "
+                          "run sync peers in executor threads via "
+                          "SessionChannel")
+            elif (
+                isinstance(base, ast.Name)
+                and base.id == "socket"
+                and func.attr in _BLOCKING_SOCKET_FUNCS
+            ):
+                self.flag(node, f"socket.{func.attr}() blocks the event "
+                          "loop — use asyncio.open_connection/start_server")
+            elif (
+                isinstance(base, ast.Name)
+                and base.id == "subprocess"
+                and func.attr in _BLOCKING_SUBPROCESS
+            ):
+                self.flag(node, f"subprocess.{func.attr}() blocks the event "
+                          "loop — use asyncio.create_subprocess_exec")
+            elif func.attr in _BLOCKING_METHODS and not awaited:
+                self.flag(node, f"un-awaited .{func.attr}() in an async "
+                          "body — blocking I/O must be awaited (async "
+                          "transport) or routed through "
+                          "SessionChannel/run_in_executor")
+        elif isinstance(func, ast.Name):
+            if func.id in _SYNC_TRANSPORTS:
+                self.flag(node, f"{func.id}(...) constructed in an async "
+                          "body — the loop must use the async transport; "
+                          "blocking peers belong in executor threads")
+            elif func.id == "input":
+                self.flag(node, "input() blocks the event loop")
+            elif func.id == "sleep" and not awaited:
+                self.flag(node, "un-awaited sleep() in an async body — "
+                          "if this is time.sleep, use asyncio.sleep")
+        self.generic_visit(node)
+
+
+@register
+class AsyncHygieneRule(Rule):
+    code = "REP003"
+    name = "async-hygiene"
+    description = (
+        "async def bodies must not make blocking calls; blocking work is "
+        "awaited or routed through SessionChannel/executor threads"
+    )
+    # The check only inspects `async def` bodies, so it is safe (and
+    # cheap) to apply across the package; the async serving stack lives
+    # in net.aio / net.fleet / net.gateway.
+    scope = ("repro",)
+
+    def check_module(self, ctx: ModuleContext) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.AsyncFunctionDef):
+                visitor = _AsyncBodyVisitor(self, ctx)
+                for stmt in node.body:
+                    visitor.visit(stmt)
+                findings.extend(visitor.findings)
+        return findings

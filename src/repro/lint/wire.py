@@ -1,0 +1,219 @@
+"""REP002 — wire-codec exhaustiveness for protocol message types.
+
+Every wire-visible message class defined in :mod:`repro.core.messages`
+— by convention a ``@dataclass(frozen=True)`` at module top level —
+must have a codec entry in :mod:`repro.crypto.serialization`'s
+``_REGISTRY`` (tag → ``(type, encode_body, decode_body)``), and every
+tag must be unique.  Historically a new message type without a codec
+survived until a *distributed* smoke test first tried to send it; this
+rule turns that into a lint failure on the defining line.
+
+This is a cross-module check: it parses both files' ASTs and joins
+class names against registry entries.  When only one side of the pair
+is in the linted path set, the counterpart is loaded from its sibling
+location on disk so ``repro lint src/repro/core/messages.py`` still
+sees the whole invariant.
+
+The static claim has a dynamic twin: ``tests/core`` auto-generates an
+encode→decode round-trip test from the same registry, catching codec
+*bugs* where this rule catches codec *absence*.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+
+from repro.lint.base import Finding, ModuleContext, ProjectRule, register
+
+__all__ = ["WireExhaustivenessRule"]
+
+MESSAGES_MODULE = "repro.core.messages"
+SERIALIZATION_MODULE = "repro.crypto.serialization"
+# messages.py path suffix -> serialization.py path suffix (and back), for
+# loading the counterpart from disk.
+_SIBLINGS = {
+    MESSAGES_MODULE: os.path.join("core", "messages.py"),
+    SERIALIZATION_MODULE: os.path.join("crypto", "serialization.py"),
+}
+
+
+def message_classes(tree: ast.Module) -> dict[str, ast.ClassDef]:
+    """Top-level ``@dataclass(frozen=True)`` classes — the wire-visible
+    message surface (status enums and mutable records are not framed
+    individually; they travel inside other messages' bodies)."""
+    out: dict[str, ast.ClassDef] = {}
+    for node in tree.body:
+        if not isinstance(node, ast.ClassDef):
+            continue
+        for dec in node.decorator_list:
+            if (
+                isinstance(dec, ast.Call)
+                and isinstance(dec.func, ast.Name)
+                and dec.func.id == "dataclass"
+                and any(
+                    kw.arg == "frozen"
+                    and isinstance(kw.value, ast.Constant)
+                    and kw.value.value is True
+                    for kw in dec.keywords
+                )
+            ):
+                out[node.name] = node
+    return out
+
+
+def registry_entries(tree: ast.Module) -> list[tuple[bytes | None, str | None, ast.expr]]:
+    """(tag, class name, key node) triples from the ``_REGISTRY`` dict
+    literal, wherever it is assigned (module level or inside the lazy
+    ``_registry()`` initializer)."""
+    entries: list[tuple[bytes | None, str | None, ast.expr]] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Assign):
+            continue
+        targets = [t.id for t in node.targets if isinstance(t, ast.Name)]
+        if "_REGISTRY" not in targets or not isinstance(node.value, ast.Dict):
+            continue
+        for key, value in zip(node.value.keys, node.value.values):
+            tag = key.value if isinstance(key, ast.Constant) and isinstance(key.value, bytes) else None
+            cls_name: str | None = None
+            if isinstance(value, ast.Tuple) and value.elts:
+                first = value.elts[0]
+                if isinstance(first, ast.Attribute):
+                    cls_name = first.attr
+                elif isinstance(first, ast.Name):
+                    cls_name = first.id
+            entries.append((tag, cls_name, key if key is not None else node))
+    return entries
+
+
+def _load_counterpart(present: ModuleContext, missing_module: str) -> ModuleContext | None:
+    """Given one half of the pair, read the other from its sibling path."""
+    suffix = _SIBLINGS[
+        MESSAGES_MODULE if present.module == SERIALIZATION_MODULE else SERIALIZATION_MODULE
+    ]
+    package_root = present.path
+    for _ in range(2):  # strip core/messages.py or crypto/serialization.py
+        package_root = os.path.dirname(package_root)
+    candidate = os.path.join(package_root, suffix)
+    if not os.path.isfile(candidate):
+        return None
+    with open(candidate, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    try:
+        tree = ast.parse(source, filename=candidate)
+    except SyntaxError:
+        return None
+    return ModuleContext(
+        path=candidate, module=missing_module, source=source, tree=tree
+    )
+
+
+@register
+class WireExhaustivenessRule(ProjectRule):
+    code = "REP002"
+    name = "wire-exhaustiveness"
+    description = (
+        "every frozen-dataclass message in core.messages needs a "
+        "uniquely-tagged codec entry in crypto.serialization's registry"
+    )
+
+    def check_project(self, modules: list[ModuleContext]) -> list[Finding]:
+        by_module = {ctx.module: ctx for ctx in modules if ctx.module}
+        messages_ctx = by_module.get(MESSAGES_MODULE)
+        serial_ctx = by_module.get(SERIALIZATION_MODULE)
+        if messages_ctx is None and serial_ctx is None:
+            return []
+        if messages_ctx is None:
+            messages_ctx = _load_counterpart(serial_ctx, MESSAGES_MODULE)
+        if serial_ctx is None:
+            serial_ctx = _load_counterpart(messages_ctx, SERIALIZATION_MODULE)
+        if messages_ctx is None or serial_ctx is None:
+            # Half the invariant is unreadable: report on what we have.
+            present = by_module.get(MESSAGES_MODULE) or by_module.get(SERIALIZATION_MODULE)
+            return [
+                present.finding(
+                    self.code,
+                    present.tree,
+                    "cannot locate the counterpart module for the wire "
+                    "registry cross-check (messages.py <-> serialization.py)",
+                )
+            ]
+        return self.check_pair(messages_ctx, serial_ctx)
+
+    def check_pair(
+        self, messages_ctx: ModuleContext, serial_ctx: ModuleContext
+    ) -> list[Finding]:
+        findings: list[Finding] = []
+        classes = message_classes(messages_ctx.tree)
+        entries = registry_entries(serial_ctx.tree)
+
+        if not entries:
+            findings.append(
+                serial_ctx.finding(
+                    self.code,
+                    serial_ctx.tree,
+                    "no _REGISTRY dict literal found — the wire codec "
+                    "registry must be a statically-visible dict",
+                )
+            )
+            return findings
+
+        seen_tags: dict[bytes, ast.expr] = {}
+        registered: dict[str, ast.expr] = {}
+        for tag, cls_name, node in entries:
+            if tag is None:
+                findings.append(
+                    serial_ctx.finding(
+                        self.code, node,
+                        "registry tag is not a bytes literal — tags must be "
+                        "statically checkable",
+                    )
+                )
+            elif tag in seen_tags:
+                findings.append(
+                    serial_ctx.finding(
+                        self.code, node,
+                        f"duplicate wire tag {tag!r} — tags must be unique "
+                        "or decode_message dispatch is ambiguous",
+                    )
+                )
+            else:
+                seen_tags[tag] = node
+            if cls_name is None:
+                findings.append(
+                    serial_ctx.finding(
+                        self.code, node,
+                        "registry entry's first element is not a message "
+                        "class reference",
+                    )
+                )
+                continue
+            if cls_name in registered:
+                findings.append(
+                    serial_ctx.finding(
+                        self.code, node,
+                        f"message class {cls_name} registered twice",
+                    )
+                )
+            registered[cls_name] = node
+            if cls_name not in classes:
+                findings.append(
+                    serial_ctx.finding(
+                        self.code, node,
+                        f"registry references {cls_name}, which is not a "
+                        "frozen dataclass in core.messages",
+                    )
+                )
+
+        for cls_name, class_node in sorted(classes.items()):
+            if cls_name not in registered:
+                findings.append(
+                    messages_ctx.finding(
+                        self.code, class_node,
+                        f"message class {cls_name} has no codec entry in "
+                        "crypto.serialization's registry — it cannot cross "
+                        "a transport (add an encode/decode pair and a "
+                        "unique tag)",
+                    )
+                )
+        return findings

@@ -15,7 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.crypto.pedersen import Opening, PedersenParams
-from repro.errors import CommitmentOpeningError
+from repro.errors import CommitmentOpeningError, EncodingError, NotOnGroupError
 from repro.utils.encoding import bytes_to_int, int_to_bytes
 from repro.utils.rng import RNG, default_rng
 
@@ -58,7 +58,7 @@ class PedersenMorraScheme:
 
         try:
             element = self._params.group.from_bytes(commitment.encoded)
-        except Exception as exc:
+        except (EncodingError, NotOnGroupError) as exc:
             raise CommitmentOpeningError(f"malformed commitment: {exc}") from exc
         expected = Commitment(element)
         opening = Opening(value % self._params.q, bytes_to_int(randomness) % self._params.q)

@@ -459,7 +459,7 @@ class _FrontEnd:
         except asyncio.CancelledError:
             await self._abort_session_peers(sid, "front-end stopping")
             raise
-        except Exception as exc:
+        except Exception as exc:  # repro: allow[REP004] -- supervisor boundary: any unexpected failure becomes an attributed 'failed' event and the session's peers are aborted, never a hang
             await self._abort_session_peers(sid, f"front-end failure: {exc}")
             self.aborted += 1
             self._send(
@@ -688,7 +688,7 @@ class FleetDispatcher:
                 )
             worker = self._placement_target()
             if worker is None:
-                raise ProtocolAbort("no live front-end to place the session on")
+                raise ProtocolAbort("no live front-end to place the session on")  # repro: allow[REP004] -- infrastructure exhaustion, not party misbehaviour; there is no protocol party to name
             self._place(worker, request)
             if self.metrics is not None:
                 self.metrics.session_admitted()

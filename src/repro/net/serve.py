@@ -471,7 +471,7 @@ def _async_shard_main(
             ShardWorker(transport, timeout=timeout).run()
         except ParameterError:
             raise
-        except Exception:
+        except Exception:  # repro: allow[REP004] -- shard worker thread: the front-end already attributed the abort; re-raising here would only crash the demo harness
             pass  # an aborted session already has attribution front-end side
         finally:
             transport.close()
@@ -719,7 +719,7 @@ def main(args) -> int:
     except ParameterError as exc:
         print(f"usage error: {exc}", file=sys.stderr)
         return 2
-    except Exception as exc:
+    except Exception as exc:  # repro: allow[REP004] -- top-level supervisor boundary: unexpected failures map to EXIT_INFRA_CRASH with the type on stderr
         print(f"infrastructure crash: {type(exc).__name__}: {exc}", file=sys.stderr)
         return EXIT_INFRA_CRASH
 

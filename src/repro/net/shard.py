@@ -623,7 +623,7 @@ class ShardedAnalyst:
         if len(chunk_records) != self._client_chunks or sum(
             len(verdicts) for _, verdicts in chunk_records
         ) != self._dispatched:
-            raise ProtocolAbort("shards returned an incomplete client record")
+            raise ProtocolAbort("shards returned an incomplete client record")  # repro: allow[REP004] -- aggregate merge inconsistency across shards; per-shard faults were attributed when their frames were read
         ordered = [pair for _, verdicts in chunk_records for pair in verdicts]
         valid = verifier.record_client_verdicts(ordered)
         self.engine.adopt_valid_ids(valid)

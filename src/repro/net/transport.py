@@ -385,7 +385,7 @@ class SocketTransport(Transport):
                 return None
             left = deadline - time.monotonic()
             if left <= 0:
-                raise ProtocolAbort(self._accept_timeout_message())
+                raise ProtocolAbort(self._accept_timeout_message())  # repro: allow[REP004] -- no single culprit: the timeout message names every absent peer
             return left
 
         names: list[str] = []
@@ -394,7 +394,7 @@ class SocketTransport(Transport):
                 self._listener.settimeout(remaining())
                 sock, _ = self._listener.accept()
             except TimeoutError as exc:  # socket.timeout is an alias
-                raise ProtocolAbort(self._accept_timeout_message()) from exc
+                raise ProtocolAbort(self._accept_timeout_message()) from exc  # repro: allow[REP004] -- no single culprit: the timeout message names every absent peer
             except OSError as exc:
                 # A connection that died in the accept queue (RST) is the
                 # peer's problem; anything else (EMFILE, EBADF, ...) is a

@@ -28,7 +28,7 @@ from repro.core.params import PublicParams, _resolve_group
 from repro.crypto.serialization import _decode_str
 from repro.core.plan import AggregationPlan
 from repro.crypto.pedersen import PedersenParams
-from repro.errors import EncodingError
+from repro.errors import EncodingError, ReproError
 from repro.utils.encoding import (
     bytes_to_int,
     decode_length_prefixed,
@@ -125,7 +125,7 @@ def decode_params(data: bytes) -> PublicParams:
         raise EncodingError("params epsilon/delta must be 8-byte doubles")
     try:
         group = _resolve_group(_decode_str(parts[0], "group name"))
-    except Exception as exc:
+    except (ReproError, ValueError) as exc:
         raise EncodingError(f"unknown group {parts[0]!r}: {exc}") from exc
     return PublicParams(
         pedersen=PedersenParams(group),

@@ -1,0 +1,22 @@
+"""Pragma-suppression fixture: one of each behaviour.
+
+Line numbers matter to the tests; keep the layout stable.
+"""
+
+import time
+
+
+def suppressed_wall_clock():
+    return time.time()  # repro: allow[REP001] -- fixture: demo measurement, not a protocol deadline
+
+
+def unjustified_wall_clock():
+    return time.time()  # repro: allow[REP001]
+
+
+def dead_pragma():
+    return time.monotonic()  # repro: allow[REP001] -- nothing to suppress on this line
+
+
+def unsuppressed_wall_clock():
+    return time.time()

@@ -1,0 +1,45 @@
+"""REP001 true positives: every flavour of nondeterminism in one file."""
+
+import os
+import random
+import secrets
+import time
+import uuid
+from datetime import datetime
+from random import randint
+from time import time as wall_clock
+
+
+def draw_noise():
+    return random.random()  # line 14: module-level RNG
+
+
+def draw_key():
+    return secrets.token_bytes(32)  # line 18: unseeded entropy
+
+
+def draw_seed():
+    return os.urandom(16)  # line 22: unseeded entropy
+
+
+def fresh_id():
+    return uuid.uuid4().hex  # line 26: nondeterministic identifier
+
+
+def deadline():
+    return time.time() + 5.0  # line 30: wall clock
+
+
+def stamp():
+    return datetime.now()  # line 34: wall clock
+
+
+def imported_names():
+    return randint(0, 1) + wall_clock()  # line 38: both imported forms
+
+
+def iterate_parties(parties):
+    out = []
+    for party in {p.strip() for p in parties}:  # line 43: set iteration
+        out.append(party)
+    return [p for p in set(parties)]  # line 45: comprehension over set()

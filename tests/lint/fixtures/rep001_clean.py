@@ -1,0 +1,28 @@
+"""REP001 clean: injected RNG handles, monotonic clocks, sorted sets."""
+
+import time
+from random import Random
+
+
+def draw_noise(rng):
+    return rng.randbelow(100)  # injected utils.rng handle
+
+
+def seeded_stream(seed):
+    return Random(seed)  # explicit seeded instance is allowed
+
+
+def deadline():
+    return time.monotonic() + 5.0
+
+
+def elapsed(start):
+    return time.perf_counter() - start
+
+
+def iterate_parties(parties):
+    return [party for party in sorted(set(parties))]
+
+
+def membership_is_fine(parties, who):
+    return who in set(parties)  # membership test, not iteration

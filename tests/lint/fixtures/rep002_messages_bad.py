@@ -1,0 +1,23 @@
+"""REP002 fixture: message definitions where one type lacks a codec."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PingMessage:
+    sender: str
+
+
+@dataclass(frozen=True)
+class PongMessage:
+    sender: str
+
+
+@dataclass(frozen=True)
+class OrphanMessage:  # registered nowhere: REP002 true positive
+    sender: str
+
+
+@dataclass
+class MutableRecord:  # not frozen: not part of the wire surface
+    notes: list

@@ -1,0 +1,13 @@
+"""REP002 fixture: every frozen-dataclass message has a codec entry."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PingMessage:
+    sender: str
+
+
+@dataclass(frozen=True)
+class PongMessage:
+    sender: str

@@ -1,0 +1,24 @@
+"""REP002 fixture: registry with a duplicate tag and a ghost class."""
+
+_REGISTRY = None
+
+
+def _encode(message):
+    return b""
+
+
+def _decode(group, data):
+    return None
+
+
+def _registry():
+    global _REGISTRY
+    if _REGISTRY is None:
+        from tests.lint.fixtures import rep002_messages_bad as m
+
+        _REGISTRY = {
+            b"ping": (m.PingMessage, _encode, _decode),
+            b"ping": (m.PongMessage, _encode, _decode),  # duplicate tag
+            b"ghost": (m.GhostMessage, _encode, _decode),  # not a message class
+        }
+    return _REGISTRY

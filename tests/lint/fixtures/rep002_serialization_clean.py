@@ -1,0 +1,23 @@
+"""REP002 fixture: uniquely-tagged registry covering every message."""
+
+_REGISTRY = None
+
+
+def _encode(message):
+    return b""
+
+
+def _decode(group, data):
+    return None
+
+
+def _registry():
+    global _REGISTRY
+    if _REGISTRY is None:
+        from tests.lint.fixtures import rep002_messages_clean as m
+
+        _REGISTRY = {
+            b"ping": (m.PingMessage, _encode, _decode),
+            b"pong": (m.PongMessage, _encode, _decode),
+        }
+    return _REGISTRY

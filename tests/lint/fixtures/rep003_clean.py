@@ -1,0 +1,28 @@
+"""REP003 clean: awaited I/O, executor-routed blocking work."""
+
+import asyncio
+import time
+
+
+async def poll(transport):
+    await asyncio.sleep(0.1)
+    return await transport.recv("peer")  # awaited async transport
+
+
+async def offload(loop, channel):
+    # Blocking work belongs in an executor thread; the nested sync
+    # callable may block freely — it never runs on the loop.
+    def blocking_read():
+        time.sleep(0.01)
+        return channel.recv("peer")
+
+    return await loop.run_in_executor(None, blocking_read)
+
+
+async def handshake(transport):
+    names = await transport.accept(2, timeout=5.0)
+    return names
+
+
+def sync_helper(transport):
+    return transport.recv("peer")  # sync scope: blocking is legal

@@ -1,0 +1,32 @@
+"""REP004 true positives: unattributed aborts and broad handlers."""
+
+from repro.errors import EarlyExit, ProtocolAbort
+
+
+def abort_without_blame():
+    raise ProtocolAbort("commit round failed")  # line 7: no party=
+
+
+def early_exit_without_blame():
+    raise EarlyExit("peer went silent")  # line 11: no party=
+
+
+def swallow_everything(action):
+    try:
+        action()
+    except:  # line 17: bare except
+        pass
+
+
+def broad_without_justification(action):
+    try:
+        action()
+    except Exception:  # line 23: broad, no re-raise, no pragma
+        return None
+
+
+def broad_in_tuple(action):
+    try:
+        action()
+    except (ValueError, Exception):  # line 30: Exception inside a tuple
+        return None

@@ -1,0 +1,26 @@
+"""REP004 clean: attributed aborts, narrow or propagating handlers."""
+
+from repro.errors import EarlyExit, ProtocolAbort, ReproError
+
+
+def abort_with_blame(party):
+    raise ProtocolAbort("commit round failed", party=party)
+
+
+def early_exit_with_blame():
+    raise EarlyExit("peer went silent", party="prover-1")
+
+
+def narrow_handler(action):
+    try:
+        action()
+    except (ReproError, OSError):
+        return None
+
+
+def cleanup_then_propagate(action, resource):
+    try:
+        action()
+    except BaseException:
+        resource.close()
+        raise  # bare re-raise: the original failure (and its attribution) survives

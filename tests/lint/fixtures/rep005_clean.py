@@ -1,0 +1,49 @@
+"""REP005 clean: finally/with/ownership-transfer release patterns."""
+
+import socket
+from multiprocessing import Process
+
+
+def released_in_finally(host, port, run):
+    transport = SocketTransport.connect("me", "you", host, port)
+    try:
+        run(transport)
+    finally:
+        transport.close()
+
+
+def context_managed(host, port, run):
+    with socket.socket(socket.AF_INET, socket.SOCK_STREAM) as listener:
+        listener.bind((host, port))
+        run(listener)
+
+
+def ownership_transferred(host, port):
+    transport = SocketTransport.connect("me", "you", host, port)
+    return transport  # the caller owns it now
+
+
+def handed_to_a_node(host, port, node_cls):
+    transport = SocketTransport.connect("me", "you", host, port)
+    node_cls(transport).run()  # the node takes over closing
+
+
+def terminated_in_except(targets, risky_setup):
+    started = []
+    try:
+        for worker_process in [Process(target=t) for t in targets]:
+            worker_process.start()
+            started.append(worker_process)
+        risky_setup()
+    except BaseException:
+        _terminate_processes(started)
+        raise
+    finally:
+        for worker_process in started:
+            worker_process.join(timeout=5.0)
+
+
+def _terminate_processes(processes):
+    for process in processes:
+        if process.is_alive():
+            process.terminate()
